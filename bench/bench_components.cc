@@ -1,0 +1,101 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator's hot
+ * components: cache accesses, coalescing, DRAM scheduling and
+ * whole-GPU cycles/second.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cache/cache.hh"
+#include "common/random.hh"
+#include "gpu/gpu.hh"
+#include "mem/dram_sched.hh"
+#include "simt/coalescer.hh"
+#include "workloads/vecadd.hh"
+
+namespace {
+
+using namespace gpulat;
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    StatRegistry stats;
+    CacheParams params;
+    params.capacityBytes = 64 * 1024;
+    params.lineBytes = 128;
+    params.ways = 8;
+    Cache cache("bm.cache", params, &stats);
+    Rng rng(1);
+    Cycle now = 0;
+    for (auto _ : state) {
+        const Addr line = rng.below(4096) * 128;
+        if (cache.access(line, false, now) == CacheOutcome::Miss)
+            cache.fill(line, now);
+        ++now;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(
+        state.iterations()));
+}
+BENCHMARK(BM_CacheAccess);
+
+void
+BM_Coalesce(benchmark::State &state)
+{
+    const bool scattered = state.range(0) != 0;
+    std::array<Addr, kWarpSize> addrs{};
+    Rng rng(2);
+    for (unsigned lane = 0; lane < kWarpSize; ++lane)
+        addrs[lane] = scattered ? rng.below(1 << 20) * 8 : lane * 8;
+    for (auto _ : state) {
+        auto txns = coalesce(addrs, kFullMask, 128);
+        benchmark::DoNotOptimize(txns);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(
+        state.iterations() * kWarpSize));
+}
+BENCHMARK(BM_Coalesce)->Arg(0)->Arg(1);
+
+void
+BM_FrFcfsPick(benchmark::State &state)
+{
+    StatRegistry stats;
+    DramParams params;
+    DramChannel channel("bm.dram", params, &stats);
+    std::deque<MemRequest> queue;
+    Rng rng(3);
+    for (int i = 0; i < 32; ++i) {
+        MemRequest req;
+        req.lineAddr = rng.below(1 << 16) * 128;
+        queue.push_back(req);
+    }
+    Cycle now = 1;
+    for (auto _ : state) {
+        auto pick = pickDramRequest(DramSchedPolicy::FRFCFS, queue,
+                                    channel, now);
+        benchmark::DoNotOptimize(pick);
+        ++now;
+    }
+}
+BENCHMARK(BM_FrFcfsPick);
+
+void
+BM_GpuCyclesPerSecond(benchmark::State &state)
+{
+    for (auto _ : state) {
+        Gpu gpu(makeGF100Sim());
+        VecAdd::Options opts;
+        opts.n = 1 << 14;
+        VecAdd workload(opts);
+        auto result = workload.run(gpu);
+        benchmark::DoNotOptimize(result);
+        state.counters["sim_cycles"] = static_cast<double>(
+            result.cycles);
+    }
+}
+BENCHMARK(BM_GpuCyclesPerSecond)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Regenerates Figure 2 of the paper: per-latency-bucket exposed vs
+ * hidden fraction of global memory load latency for BFS on the
+ * GF100-like simulated GPU.
+ *
+ * Expected shape (paper): the exposed fraction is significant,
+ * sometimes close to 100%, and more than 50% for most buckets.
+ */
+
+#include <iostream>
+
+#include "gpu/gpu.hh"
+#include "latency/exposure.hh"
+#include "workloads/bfs.hh"
+
+int
+main()
+{
+    using namespace gpulat;
+
+    Gpu gpu(makeGF100Sim());
+
+    Bfs::Options opts;
+    opts.kind = Bfs::GraphKind::Rmat;
+    opts.scale = 14;
+    opts.degree = 8;
+    Bfs bfs(opts);
+
+    std::cout << "Running BFS (RMAT scale " << opts.scale
+              << ") on " << gpu.config().name << "...\n";
+    const WorkloadResult result = bfs.run(gpu);
+    std::cout << "BFS " << (result.correct ? "PASSED" : "FAILED")
+              << ", " << result.launches << " levels\n\n";
+
+    const ExposureBreakdown eb =
+        computeExposure(gpu.exposure().records(), 48);
+    std::cout << "Figure 2: exposed vs hidden global load latency "
+                 "(BFS)\n"
+              << "loads: " << eb.loads << ", latency range ["
+              << eb.minLatency << ", " << eb.maxLatency << "]\n\n";
+    eb.printChart(std::cout);
+
+    std::cout << "\nCSV:\n";
+    eb.printCsv(std::cout);
+
+    std::cout << "\noverall exposed: "
+              << eb.overallExposedPct() << "% of load latency\n"
+              << "loads in >50%-exposed buckets: "
+              << eb.fractionOfLoadsMostlyExposed() * 100.0 << "%\n";
+
+    // What the exposed cycles were waiting for, summed over SMs.
+    std::uint64_t on_mem = 0;
+    std::uint64_t on_alu = 0;
+    std::uint64_t on_lsu = 0;
+    std::uint64_t on_bar = 0;
+    for (unsigned s = 0; s < gpu.config().numSms; ++s) {
+        const std::string prefix = "sm" + std::to_string(s);
+        on_mem += gpu.stats().counterValue(prefix + ".idle_on_memory");
+        on_alu += gpu.stats().counterValue(prefix + ".idle_on_alu");
+        on_lsu += gpu.stats().counterValue(prefix + ".idle_on_lsu");
+        on_bar += gpu.stats().counterValue(prefix +
+                                           ".idle_on_barrier");
+    }
+    std::cout << "idle-cycle causes: memory " << on_mem << ", alu "
+              << on_alu << ", lsu-full " << on_lsu << ", barrier "
+              << on_bar << "\n";
+    return result.correct ? 0 : 1;
+}

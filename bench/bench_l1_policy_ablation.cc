@@ -1,0 +1,106 @@
+/**
+ * @file
+ * L1 policy ablation: the architectural change the paper's Table I
+ * exposes — Fermi caches global loads in the L1, Kepler restricts
+ * the L1 to local data, Maxwell drops it — replayed on one machine.
+ * Same GF100-sim chip, three L1 policies, same workloads.
+ */
+
+#include <iostream>
+
+#include "common/table.hh"
+#include "gpu/gpu.hh"
+#include "workloads/bfs.hh"
+#include "workloads/spmv.hh"
+#include "workloads/stencil.hh"
+
+namespace {
+
+struct Policy
+{
+    const char *name;
+    bool l1Enabled;
+    bool l1Global;
+};
+
+} // namespace
+
+int
+main()
+{
+    using namespace gpulat;
+
+    const Policy policies[] = {
+        {"fermi (L1 global+local)", true, true},
+        {"kepler (L1 local-only)", true, false},
+        {"maxwell (no L1)", false, false},
+    };
+
+    TextTable table({"workload", "L1 policy", "cycles",
+                     "mean load lat", "L1 hit %"});
+
+    auto run_workload = [&](const std::string &label,
+                            auto make_workload) {
+        for (const Policy &policy : policies) {
+            GpuConfig cfg = makeGF100Sim();
+            cfg.sm.l1Enabled = policy.l1Enabled;
+            cfg.sm.l1CachesGlobal = policy.l1Global;
+            Gpu gpu(cfg);
+            auto workload = make_workload();
+            const WorkloadResult result = workload->run(gpu);
+
+            double sum = 0.0;
+            for (const auto &t : gpu.latencies().traces())
+                sum += static_cast<double>(t.total());
+            const double mean = gpu.latencies().count()
+                ? sum / static_cast<double>(gpu.latencies().count())
+                : 0.0;
+
+            std::uint64_t hits = 0;
+            std::uint64_t misses = 0;
+            if (policy.l1Enabled) {
+                for (unsigned s = 0; s < cfg.numSms; ++s) {
+                    hits += gpu.sm(s).l1()->hits();
+                    misses += gpu.sm(s).l1()->misses();
+                }
+            }
+            const double hit_pct = hits + misses
+                ? 100.0 * static_cast<double>(hits) /
+                      static_cast<double>(hits + misses)
+                : 0.0;
+
+            table.addRow({label + (result.correct ? "" : " (FAILED)"),
+                          policy.name,
+                          std::to_string(result.cycles),
+                          formatDouble(mean, 1),
+                          formatDouble(hit_pct, 1)});
+        }
+    };
+
+    run_workload("bfs", [] {
+        Bfs::Options opts;
+        opts.kind = Bfs::GraphKind::Rmat;
+        opts.scale = 13;
+        return std::make_unique<Bfs>(opts);
+    });
+    run_workload("spmv", [] {
+        SpMV::Options opts;
+        opts.rows = 1 << 12;
+        return std::make_unique<SpMV>(opts);
+    });
+    run_workload("stencil2d", [] {
+        Stencil2D::Options opts;
+        opts.width = 256;
+        opts.height = 128;
+        return std::make_unique<Stencil2D>(opts);
+    });
+
+    std::cout << "L1 policy ablation (GF100-sim): the Fermi -> "
+                 "Kepler -> Maxwell global-memory L1 retreat\n\n";
+    table.print(std::cout);
+    std::cout << "\nexpected shape: removing the L1 from the global "
+                 "path raises mean load latency (every access "
+                 "starts at the L2, exactly Table I's Kepler/"
+                 "Maxwell observation).\n";
+    return 0;
+}

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Regenerates Table I of the paper: idle latencies of the global
+ * memory pipeline (L1 hit / L2 hit / DRAM) measured by single-thread
+ * pointer chasing on the four simulated GPU generations.
+ *
+ * Paper reference values (clock cycles):
+ *
+ *   Unit   GT200  GF106  GK104  GM107
+ *   L1 D$  x      45     30     x
+ *   L2 D$  x      310    175    194
+ *   DRAM   440    685    300    350
+ */
+
+#include <iostream>
+
+#include "microbench/table1.hh"
+
+int
+main()
+{
+    using namespace gpulat;
+
+    std::cout << "Table I: Latencies of memory loads through the "
+                 "global memory pipeline\n"
+              << "(measured by pointer-chase microbenchmark; "
+                 "cycles in the hot clock domain)\n\n";
+
+    Table1Options opts;
+    opts.timedAccesses = 1024;
+    opts.fullLadder = true;
+    const auto columns = measureTable1(opts);
+    printTable1(std::cout, columns);
+
+    std::cout << "\npaper reference:\n"
+              << "Unit   GT200  GF106  GK104  GM107\n"
+              << "L1 D$  x      45     30     x\n"
+              << "L2 D$  x      310    175    194\n"
+              << "DRAM   440    685    300    350\n";
+    return 0;
+}

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Latency hiding demo: the same streaming kernel at 1, 4, 16 and 48
+ * warps per SM — watch exposed latency collapse as TLP rises, and
+ * compare with BFS where it doesn't.
+ */
+
+#include <iostream>
+
+#include "common/table.hh"
+#include "gpu/gpu.hh"
+#include "latency/exposure.hh"
+#include "workloads/bfs.hh"
+#include "workloads/vecadd.hh"
+
+int
+main()
+{
+    using namespace gpulat;
+
+    TextTable table({"workload", "warps/SM", "cycles", "exposed %"});
+
+    for (unsigned warps : {1u, 4u, 16u, 48u}) {
+        GpuConfig cfg = makeGF100Sim();
+        cfg.sm.warpSlots = warps;
+        cfg.sm.maxBlocksPerSm = std::max(1u, warps / 4);
+
+        {
+            Gpu gpu(cfg);
+            VecAdd::Options opts;
+            opts.n = 1 << 15;
+            VecAdd vecadd(opts);
+            const WorkloadResult r = vecadd.run(gpu);
+            const auto eb =
+                computeExposure(gpu.exposure().records(), 24);
+            table.addRow({"vecadd", std::to_string(warps),
+                          std::to_string(r.cycles),
+                          formatDouble(eb.overallExposedPct(), 1)});
+        }
+        {
+            Gpu gpu(cfg);
+            Bfs::Options opts;
+            opts.kind = Bfs::GraphKind::Rmat;
+            opts.scale = 12;
+            Bfs bfs(opts);
+            const WorkloadResult r = bfs.run(gpu);
+            const auto eb =
+                computeExposure(gpu.exposure().records(), 24);
+            table.addRow({"bfs", std::to_string(warps),
+                          std::to_string(r.cycles),
+                          formatDouble(eb.overallExposedPct(), 1)});
+        }
+    }
+
+    table.print(std::cout);
+    std::cout << "\nGPUs hide latency with warps — but BFS keeps a "
+                 "large exposed fraction even at full occupancy, "
+                 "which is the paper's central observation.\n";
+    return 0;
+}

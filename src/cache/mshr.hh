@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Miss Status Holding Register table.
+ *
+ * Tracks outstanding misses per cache line and merges secondary
+ * misses onto the primary so only one downstream request is in
+ * flight per line. Generic over the payload attached to each miss
+ * (the L1 attaches load-instruction tokens, the L2 attaches whole
+ * requests awaiting DRAM).
+ */
+
+#ifndef GPULAT_CACHE_MSHR_HH
+#define GPULAT_CACHE_MSHR_HH
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "common/log.hh"
+#include "common/types.hh"
+
+namespace gpulat {
+
+/** Outcome of trying to register a miss. */
+enum class MshrOutcome : std::uint8_t {
+    NewEntry,   ///< first miss on this line: send a request downstream
+    Merged,     ///< merged onto an in-flight miss: no new request
+    FullEntries,///< structural stall: no free MSHR entry
+    FullMerges, ///< structural stall: merge capacity exhausted
+};
+
+template <typename Payload>
+class MshrTable
+{
+  public:
+    /**
+     * @param entries distinct lines trackable at once.
+     * @param max_merge max payloads (incl. primary) per line.
+     */
+    MshrTable(std::size_t entries, std::size_t max_merge)
+        : entries_(entries), maxMerge_(max_merge)
+    {
+        GPULAT_ASSERT(entries > 0 && max_merge > 0, "bad MSHR shape");
+    }
+
+    /** Try to record a miss on @p line carrying @p payload. */
+    MshrOutcome
+    allocate(Addr line, Payload payload)
+    {
+        auto it = table_.find(line);
+        if (it != table_.end()) {
+            if (it->second.size() >= maxMerge_)
+                return MshrOutcome::FullMerges;
+            it->second.push_back(std::move(payload));
+            return MshrOutcome::Merged;
+        }
+        if (table_.size() >= entries_)
+            return MshrOutcome::FullEntries;
+        table_[line].push_back(std::move(payload));
+        return MshrOutcome::NewEntry;
+    }
+
+    /** True if a miss on @p line is already in flight. */
+    bool pending(Addr line) const { return table_.count(line) != 0; }
+
+    /** Number of payloads parked on @p line (0 if none). */
+    std::size_t
+    peekCount(Addr line) const
+    {
+        auto it = table_.find(line);
+        return it == table_.end() ? 0 : it->second.size();
+    }
+
+    /**
+     * The downstream fill for @p line arrived: release the entry and
+     * return all merged payloads (primary first).
+     */
+    std::vector<Payload>
+    release(Addr line)
+    {
+        auto it = table_.find(line);
+        GPULAT_ASSERT(it != table_.end(),
+                      "MSHR release of untracked line");
+        std::vector<Payload> payloads = std::move(it->second);
+        table_.erase(it);
+        return payloads;
+    }
+
+    std::size_t inFlight() const { return table_.size(); }
+    bool empty() const { return table_.empty(); }
+    std::size_t capacity() const { return entries_; }
+
+  private:
+    std::size_t entries_;
+    std::size_t maxMerge_;
+    std::unordered_map<Addr, std::vector<Payload>> table_;
+};
+
+} // namespace gpulat
+
+#endif // GPULAT_CACHE_MSHR_HH

@@ -1,0 +1,26 @@
+#include "common/log.hh"
+
+#include <cstdio>
+
+#include "common/types.hh"
+
+namespace gpulat {
+
+void
+warn(const std::string &msg)
+{
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+const char *
+toString(MemSpace space)
+{
+    switch (space) {
+      case MemSpace::Global: return "global";
+      case MemSpace::Local: return "local";
+      case MemSpace::Shared: return "shared";
+    }
+    return "?";
+}
+
+} // namespace gpulat

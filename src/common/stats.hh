@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Lightweight statistics package: named counters, scalar averages and
+ * linear/log histograms, grouped per hardware unit and dumpable as
+ * text. Modeled loosely on gem5's Stats but kept dependency-free.
+ */
+
+#ifndef GPULAT_COMMON_STATS_HH
+#define GPULAT_COMMON_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/log.hh"
+
+namespace gpulat {
+
+/** Monotonic event counter. */
+class Counter
+{
+  public:
+    void inc(std::uint64_t n = 1) { value_ += n; }
+    std::uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** Running scalar statistic: count / sum / min / max / mean. */
+class ScalarStat
+{
+  public:
+    void
+    sample(double v)
+    {
+        if (count_ == 0) {
+            min_ = max_ = v;
+        } else {
+            if (v < min_) min_ = v;
+            if (v > max_) max_ = v;
+        }
+        sum_ += v;
+        ++count_;
+    }
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    void reset() { *this = ScalarStat(); }
+
+  private:
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * Fixed-width linear histogram over [lo, hi); out-of-range samples go
+ * to saturated edge buckets.
+ */
+class Histogram
+{
+  public:
+    Histogram(double lo, double hi, std::size_t buckets)
+        : lo_(lo), hi_(hi), counts_(buckets, 0)
+    {
+        GPULAT_ASSERT(hi > lo && buckets > 0, "bad histogram shape");
+    }
+
+    void
+    sample(double v)
+    {
+        std::size_t idx;
+        if (v < lo_) {
+            idx = 0;
+        } else if (v >= hi_) {
+            idx = counts_.size() - 1;
+        } else {
+            idx = static_cast<std::size_t>(
+                (v - lo_) / (hi_ - lo_) * counts_.size());
+            if (idx >= counts_.size())
+                idx = counts_.size() - 1;
+        }
+        ++counts_[idx];
+        scalar_.sample(v);
+    }
+
+    std::size_t buckets() const { return counts_.size(); }
+    std::uint64_t bucketCount(std::size_t i) const { return counts_[i]; }
+    double bucketLo(std::size_t i) const
+    {
+        return lo_ + (hi_ - lo_) * i / counts_.size();
+    }
+    double bucketHi(std::size_t i) const { return bucketLo(i + 1); }
+    const ScalarStat &scalar() const { return scalar_; }
+
+  private:
+    double lo_, hi_;
+    std::vector<std::uint64_t> counts_;
+    ScalarStat scalar_;
+};
+
+/**
+ * Hierarchical registry of named statistics for one simulation.
+ *
+ * Units register counters/scalars under dotted names
+ * (e.g. "sm0.l1.hits"); dump() renders them sorted.
+ */
+class StatRegistry
+{
+  public:
+    /** Create-or-get a counter by dotted name. */
+    Counter &counter(const std::string &name) { return counters_[name]; }
+
+    /** Create-or-get a scalar statistic by dotted name. */
+    ScalarStat &scalar(const std::string &name) { return scalars_[name]; }
+
+    /** All counters (sorted by name, map order). */
+    const std::map<std::string, Counter> &counters() const
+    {
+        return counters_;
+    }
+
+    const std::map<std::string, ScalarStat> &scalars() const
+    {
+        return scalars_;
+    }
+
+    /** Value of a counter, 0 if absent. */
+    std::uint64_t counterValue(const std::string &name) const;
+
+    /** Render all statistics as aligned text. */
+    void dump(std::ostream &os) const;
+
+    /** Zero everything (between kernels, if desired). */
+    void reset();
+
+  private:
+    std::map<std::string, Counter> counters_;
+    std::map<std::string, ScalarStat> scalars_;
+};
+
+} // namespace gpulat
+
+#endif // GPULAT_COMMON_STATS_HH

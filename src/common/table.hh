@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Text rendering helpers for benches and examples: aligned tables
+ * (Table I style) and horizontal stacked-bar charts (Figure 1/2
+ * style), plus CSV emission for downstream plotting.
+ */
+
+#ifndef GPULAT_COMMON_TABLE_HH
+#define GPULAT_COMMON_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace gpulat {
+
+/** Column-aligned text table with a header row. */
+class TextTable
+{
+  public:
+    explicit TextTable(std::vector<std::string> header);
+
+    /** Append one row; must have the same arity as the header. */
+    void addRow(std::vector<std::string> row);
+
+    /** Render with padded columns and a rule under the header. */
+    void print(std::ostream &os) const;
+
+    /** Render as CSV (no padding, comma-separated, quoted commas). */
+    void printCsv(std::ostream &os) const;
+
+    std::size_t rows() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/**
+ * Horizontal stacked percentage bars: one row per bucket, one glyph
+ * run per series — the terminal version of the paper's Figures 1/2.
+ */
+class StackedBarChart
+{
+  public:
+    /**
+     * @param series_names legend entries, in stacking order.
+     * @param width total glyph width of a 100% bar.
+     */
+    StackedBarChart(std::vector<std::string> series_names,
+                    std::size_t width = 60);
+
+    /**
+     * Append one bar.
+     * @param label row label (e.g. "153-190").
+     * @param parts one value per series; rendered as % of their sum.
+     * @param annotation free text appended after the bar.
+     */
+    void addBar(const std::string &label, std::vector<double> parts,
+                const std::string &annotation = "");
+
+    /** Render bars plus a legend mapping glyphs to series names. */
+    void print(std::ostream &os) const;
+
+  private:
+    std::vector<std::string> seriesNames_;
+    std::size_t width_;
+
+    struct Bar
+    {
+        std::string label;
+        std::vector<double> parts;
+        std::string annotation;
+    };
+    std::vector<Bar> bars_;
+
+    static const char *glyphFor(std::size_t series);
+};
+
+/** Format a double with fixed precision into a string. */
+std::string formatDouble(double v, int precision = 1);
+
+} // namespace gpulat
+
+#endif // GPULAT_COMMON_TABLE_HH

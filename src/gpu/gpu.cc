@@ -1,0 +1,255 @@
+#include "gpu/gpu.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace gpulat {
+
+Gpu::Gpu(GpuConfig config)
+    : config_(std::move(config)),
+      dmem_(config_.deviceMemBytes),
+      reqNet_("icnt.req", config_.numSms, config_.numPartitions,
+              config_.icntLatency, config_.icntInQueue,
+              config_.icntOutQueue, &stats_),
+      respNet_("icnt.resp", config_.numPartitions, config_.numSms,
+               config_.icntLatency, config_.icntInQueue,
+               config_.icntOutQueue, &stats_)
+{
+    PartitionParams part_params = config_.partition;
+    part_params.interleaveDivisor = config_.numPartitions;
+    for (unsigned p = 0; p < config_.numPartitions; ++p) {
+        partitions_.push_back(std::make_unique<MemPartition>(
+            p, part_params, &stats_));
+    }
+
+    auto partition_of = [this](Addr line) {
+        return config_.partitionOf(line);
+    };
+    for (unsigned s = 0; s < config_.numSms; ++s) {
+        SmParams sm = config_.sm;
+        sm.smId = s;
+        sms_.push_back(std::make_unique<SmCore>(
+            sm, &dmem_, &stats_, &latCollector_, &expCollector_,
+            &reqNet_, partition_of, &nextReqId_));
+    }
+}
+
+Addr
+Gpu::alloc(std::uint64_t bytes, std::uint64_t align)
+{
+    return dmem_.alloc(bytes, align);
+}
+
+void
+Gpu::copyToDevice(Addr dst, const void *src, std::uint64_t bytes)
+{
+    dmem_.copyIn(dst, src, bytes);
+}
+
+void
+Gpu::copyFromDevice(void *dst, Addr src, std::uint64_t bytes) const
+{
+    dmem_.copyOut(src, dst, bytes);
+}
+
+void
+Gpu::invalidateCaches()
+{
+    for (auto &sm : sms_)
+        sm->invalidateL1();
+    for (auto &part : partitions_) {
+        GPULAT_ASSERT(part->drained(),
+                      "cache invalidate while requests in flight");
+        if (part->l2())
+            part->l2()->invalidateAll();
+    }
+}
+
+bool
+Gpu::allDrained() const
+{
+    for (const auto &sm : sms_)
+        if (sm->busy() || !sm->drained())
+            return false;
+    if (!reqNet_.empty() || !respNet_.empty())
+        return false;
+    for (const auto &part : partitions_)
+        if (!part->drained())
+            return false;
+    return true;
+}
+
+std::uint64_t
+Gpu::activitySignature() const
+{
+    std::uint64_t sig = nextReqId_ + nextBlock_;
+    for (unsigned s = 0; s < config_.numSms; ++s) {
+        sig += stats_.counterValue("sm" + std::to_string(s) +
+                                   ".issued");
+        sig += stats_.counterValue("sm" + std::to_string(s) +
+                                   ".loads_completed");
+    }
+    return sig;
+}
+
+void
+Gpu::tick()
+{
+    // Interconnect moves first so this cycle's ejections are last
+    // cycle's traversals.
+    reqNet_.tick(cycle_);
+    respNet_.tick(cycle_);
+
+    // Requests leaving the network enter their partition's ROP queue.
+    for (unsigned p = 0; p < config_.numPartitions; ++p) {
+        if (reqNet_.deliverable(p, cycle_) &&
+            partitions_[p]->canAccept()) {
+            partitions_[p]->accept(cycle_, reqNet_.eject(p));
+        }
+    }
+
+    for (auto &part : partitions_)
+        part->tick(cycle_);
+
+    // Responses enter the return network (one per partition/cycle).
+    for (unsigned p = 0; p < config_.numPartitions; ++p) {
+        if (!partitions_[p]->responseReady(cycle_))
+            continue;
+        const unsigned dst = partitions_[p]->peekResponseSm();
+        if (!respNet_.canInject(p))
+            continue;
+        MemRequest resp = partitions_[p]->popResponse();
+        const bool ok = respNet_.inject(cycle_, p, dst,
+                                        std::move(resp));
+        GPULAT_ASSERT(ok, "response inject after canInject");
+    }
+
+    // Responses leaving the return network write back at their SM.
+    for (unsigned s = 0; s < config_.numSms; ++s) {
+        if (respNet_.deliverable(s, cycle_))
+            sms_[s]->acceptResponse(cycle_, respNet_.eject(s));
+    }
+
+    for (auto &sm : sms_)
+        sm->tick(cycle_);
+
+    // Block dispatch: one block per SM per cycle, round-robin.
+    for (unsigned k = 0;
+         k < config_.numSms && nextBlock_ < ctx_.numBlocks; ++k) {
+        const unsigned s = (dispatchRr_ + k) % config_.numSms;
+        if (sms_[s]->canAcceptBlock()) {
+            sms_[s]->dispatchBlock(nextBlock_++);
+        }
+    }
+    dispatchRr_ = (dispatchRr_ + 1) % config_.numSms;
+
+    ++cycle_;
+}
+
+LaunchResult
+Gpu::launch(const Kernel &kernel, unsigned num_blocks,
+            unsigned threads_per_block,
+            const std::vector<RegValue> &params)
+{
+    if (num_blocks == 0 || threads_per_block == 0)
+        fatal("launch of '", kernel.name, "' with empty grid/block");
+    if (threads_per_block > config_.sm.warpSlots * kWarpSize)
+        fatal("block of ", threads_per_block,
+              " threads exceeds SM capacity");
+    if (params.size() > kMaxParams)
+        fatal("too many kernel parameters");
+    if (kernel.sharedBytes > config_.sm.smemPerSm)
+        fatal("kernel shared memory ", kernel.sharedBytes,
+              " exceeds SM capacity ", config_.sm.smemPerSm);
+
+    // The declared register count bounds each thread's register
+    // file slice; code touching a register beyond it would corrupt
+    // neighbouring state.
+    int max_reg = -1;
+    for (const auto &inst : kernel.code) {
+        max_reg = std::max({max_reg, inst.dst, inst.srcA,
+                            inst.useImm ? kNoReg : inst.srcB,
+                            inst.srcC});
+        if (inst.isStore() || inst.isAtomic())
+            max_reg = std::max(max_reg, inst.srcB);
+    }
+    if (max_reg >= kernel.numRegs)
+        fatal("kernel '", kernel.name, "' declares ", kernel.numRegs,
+              " registers but uses r", max_reg);
+
+    ctx_ = LaunchContext{};
+    ctx_.kernel = &kernel;
+    ctx_.numBlocks = num_blocks;
+    ctx_.threadsPerBlock = threads_per_block;
+    for (std::size_t i = 0; i < params.size(); ++i)
+        ctx_.params[i] = params[i];
+    ctx_.totalThreads =
+        static_cast<std::uint64_t>(num_blocks) * threads_per_block;
+    ctx_.localBytesPerThread = config_.localBytesPerThread;
+
+    // Back the local space only if the kernel touches it.
+    bool uses_local = false;
+    for (const auto &inst : kernel.code)
+        if (inst.isMemory() && inst.space == MemSpace::Local)
+            uses_local = true;
+    if (uses_local) {
+        if (localBase_ == kNoAddr ||
+            localAllocThreads_ != ctx_.totalThreads ||
+            localAllocBytes_ != ctx_.localBytesPerThread) {
+            localBase_ = dmem_.alloc(
+                ctx_.totalThreads * ctx_.localBytesPerThread,
+                config_.sm.lineBytes);
+            localAllocThreads_ = ctx_.totalThreads;
+            localAllocBytes_ = ctx_.localBytesPerThread;
+        }
+        ctx_.localBase = localBase_;
+    }
+
+    nextBlock_ = 0;
+    for (auto &sm : sms_)
+        sm->startLaunch(&ctx_);
+
+    const Cycle start = cycle_;
+    const std::uint64_t instr_before =
+        [&] {
+            std::uint64_t sum = 0;
+            for (unsigned s = 0; s < config_.numSms; ++s)
+                sum += stats_.counterValue(
+                    "sm" + std::to_string(s) + ".issued");
+            return sum;
+        }();
+
+    std::uint64_t last_sig = activitySignature();
+    Cycle last_progress = cycle_;
+
+    while (nextBlock_ < num_blocks || !allDrained()) {
+        tick();
+
+        // Watchdog: a whole-pipeline stall for this long is a bug.
+        if ((cycle_ & 0x3fff) == 0) {
+            const std::uint64_t sig = activitySignature();
+            if (sig != last_sig) {
+                last_sig = sig;
+                last_progress = cycle_;
+            } else if (cycle_ - last_progress > 2'000'000) {
+                panic("no forward progress since cycle ",
+                      last_progress, " (kernel '", kernel.name,
+                      "', block ", nextBlock_, "/", num_blocks, ")");
+            }
+        }
+    }
+
+    LaunchResult result;
+    result.startCycle = start;
+    result.endCycle = cycle_;
+    result.cycles = cycle_ - start;
+    std::uint64_t instr_after = 0;
+    for (unsigned s = 0; s < config_.numSms; ++s)
+        instr_after += stats_.counterValue(
+            "sm" + std::to_string(s) + ".issued");
+    result.instructions = instr_after - instr_before;
+    return result;
+}
+
+} // namespace gpulat

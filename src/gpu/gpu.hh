@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Top-level GPU device: owns the SMs, interconnect and memory
+ * partitions, dispatches thread blocks and runs the clock loop.
+ * This is the public entry point of the library — host code
+ * allocates device memory, copies data, launches kernels and reads
+ * the collectors/statistics afterwards.
+ */
+
+#ifndef GPULAT_GPU_GPU_HH
+#define GPULAT_GPU_GPU_HH
+
+#include <memory>
+#include <vector>
+
+#include "gpu/gpu_config.hh"
+#include "icnt/crossbar.hh"
+#include "isa/kernel.hh"
+#include "latency/collector.hh"
+#include "mem/device_memory.hh"
+#include "mem/partition.hh"
+#include "simt/core.hh"
+
+namespace gpulat {
+
+/** What a kernel launch reports back. */
+struct LaunchResult
+{
+    Cycle cycles = 0;        ///< wall-clock cycles of this launch
+    Cycle startCycle = 0;
+    Cycle endCycle = 0;
+    std::uint64_t instructions = 0; ///< warp instructions issued
+};
+
+class Gpu
+{
+  public:
+    explicit Gpu(GpuConfig config);
+
+    /** @name Host-side memory API @{ */
+    DeviceMemory &memory() { return dmem_; }
+    Addr alloc(std::uint64_t bytes, std::uint64_t align = 256);
+    void copyToDevice(Addr dst, const void *src, std::uint64_t bytes);
+    void copyFromDevice(void *dst, Addr src, std::uint64_t bytes) const;
+    /** @} */
+
+    /**
+     * Launch a kernel and simulate to completion (drained pipelines).
+     *
+     * @param kernel finalized kernel.
+     * @param num_blocks 1-D grid size.
+     * @param threads_per_block 1-D block size (<= warpSlots * 32).
+     * @param params kernel parameters (<= kMaxParams).
+     */
+    LaunchResult launch(const Kernel &kernel, unsigned num_blocks,
+                        unsigned threads_per_block,
+                        const std::vector<RegValue> &params);
+
+    /** @name Instrumentation @{ */
+    StatRegistry &stats() { return stats_; }
+    LatencyCollector &latencies() { return latCollector_; }
+    ExposureCollector &exposure() { return expCollector_; }
+    /** @} */
+
+    Cycle now() const { return cycle_; }
+    const GpuConfig &config() const { return config_; }
+    SmCore &sm(unsigned i) { return *sms_[i]; }
+    MemPartition &partition(unsigned i) { return *partitions_[i]; }
+
+    /** Invalidate all L1s and L2s (between experiments). */
+    void invalidateCaches();
+
+  private:
+    void tick();
+    bool allDrained() const;
+    std::uint64_t activitySignature() const;
+
+    GpuConfig config_;
+    StatRegistry stats_;
+    LatencyCollector latCollector_;
+    ExposureCollector expCollector_;
+    DeviceMemory dmem_;
+
+    Crossbar<MemRequest> reqNet_;
+    Crossbar<MemRequest> respNet_;
+    std::vector<std::unique_ptr<MemPartition>> partitions_;
+    std::vector<std::unique_ptr<SmCore>> sms_;
+
+    Cycle cycle_ = 0;
+    std::uint64_t nextReqId_ = 0;
+    LaunchContext ctx_;
+    unsigned nextBlock_ = 0;
+    unsigned dispatchRr_ = 0;
+
+    /** Local-memory backing store, reused across launches with the
+     *  same shape so successive kernels see the same local data. */
+    Addr localBase_ = kNoAddr;
+    std::uint64_t localAllocThreads_ = 0;
+    std::uint64_t localAllocBytes_ = 0;
+};
+
+} // namespace gpulat
+
+#endif // GPULAT_GPU_GPU_HH

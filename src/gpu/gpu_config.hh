@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Whole-GPU configuration and the per-generation presets used by the
+ * paper's experiments.
+ *
+ * The static-latency presets (GT200 / GF106 / GK104 / GM107) are
+ * calibrated so the *measured* idle pointer-chase latencies match
+ * Table I of the paper; the GF100 preset mirrors the GPGPU-Sim
+ * Fermi configuration used for the dynamic analysis (Figures 1, 2).
+ */
+
+#ifndef GPULAT_GPU_GPU_CONFIG_HH
+#define GPULAT_GPU_GPU_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+#include "mem/partition.hh"
+#include "simt/core.hh"
+
+namespace gpulat {
+
+struct GpuConfig
+{
+    std::string name = "gpu";
+
+    unsigned numSms = 1;
+    unsigned numPartitions = 2;
+
+    /** Per-SM template (smId overwritten per instance). */
+    SmParams sm;
+    /** Per-partition template. */
+    PartitionParams partition;
+
+    /** Request/response network traversal latency. */
+    Cycle icntLatency = 32;
+    std::size_t icntInQueue = 8;
+    std::size_t icntOutQueue = 8;
+
+    std::uint64_t deviceMemBytes = 256ull * 1024 * 1024;
+    std::uint64_t localBytesPerThread = 1024;
+
+    /** Line address -> memory partition. */
+    unsigned
+    partitionOf(Addr line_addr) const
+    {
+        return static_cast<unsigned>(
+            (line_addr / sm.lineBytes) % numPartitions);
+    }
+
+    /** Total L2 capacity across partitions (plateau prediction). */
+    std::uint64_t
+    totalL2Bytes() const
+    {
+        return partition.l2Enabled
+            ? partition.l2Cache.capacityBytes * numPartitions
+            : 0;
+    }
+};
+
+/** @name Paper configurations @{ */
+
+/** Tesla GT200: no L1/L2 on the global path; DRAM ~440 cycles. */
+GpuConfig makeGT200();
+
+/** Fermi GF106: L1 45 / L2 310 / DRAM 685 cycles. */
+GpuConfig makeGF106();
+
+/**
+ * Kepler GK104: L1 serves only local (30 cycles); global memory
+ * starts at the L2 (175); DRAM 300.
+ */
+GpuConfig makeGK104();
+
+/** Maxwell GM107: no L1 at all; L2 194; DRAM 350. */
+GpuConfig makeGM107();
+
+/**
+ * GF100-like simulation config for the dynamic analysis: 15 SMs,
+ * 48 warps/SM, 6 partitions, FR-FCFS. Fermi-family latencies.
+ */
+GpuConfig makeGF100Sim();
+
+/** Look up a preset by name ("gt200", "gf106", ...). */
+GpuConfig makeConfig(const std::string &name);
+
+/** @} */
+
+} // namespace gpulat
+
+#endif // GPULAT_GPU_GPU_CONFIG_HH

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * SM <-> memory-partition interconnect, modelled as a single-stage
+ * crossbar with bounded per-port queues.
+ *
+ * Each source port accepts at most one packet per cycle; each
+ * destination port delivers at most one packet per cycle, selected
+ * by round-robin arbitration over contending sources. Packets incur
+ * a fixed traversal latency plus whatever queueing the load induces
+ * — which is exactly the "queueing and arbitration" behaviour the
+ * paper identifies as a key dynamic latency contributor.
+ */
+
+#ifndef GPULAT_ICNT_CROSSBAR_HH
+#define GPULAT_ICNT_CROSSBAR_HH
+
+#include <vector>
+
+#include "common/log.hh"
+#include "common/queue.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace gpulat {
+
+template <typename T>
+class Crossbar
+{
+  public:
+    /**
+     * @param name stats prefix.
+     * @param num_src source ports.
+     * @param num_dst destination ports.
+     * @param latency fixed traversal latency (cycles).
+     * @param in_capacity per-source input queue depth.
+     * @param out_capacity per-destination output queue depth.
+     * @param stats registry for arbitration statistics.
+     */
+    Crossbar(std::string name, unsigned num_src, unsigned num_dst,
+             Cycle latency, std::size_t in_capacity,
+             std::size_t out_capacity, StatRegistry *stats)
+        : name_(std::move(name)), latency_(latency)
+    {
+        GPULAT_ASSERT(num_src > 0 && num_dst > 0, "bad crossbar shape");
+        inputs_.reserve(num_src);
+        for (unsigned s = 0; s < num_src; ++s)
+            inputs_.emplace_back(in_capacity, latency_);
+        outputs_.reserve(num_dst);
+        for (unsigned d = 0; d < num_dst; ++d)
+            outputs_.emplace_back(out_capacity, Cycle{0});
+        rrPtr_.assign(num_dst, 0);
+        GPULAT_ASSERT(stats != nullptr, "crossbar needs stats");
+        transferred_ = &stats->counter(name_ + ".transferred");
+        arbStalls_ = &stats->counter(name_ + ".arb_stalls");
+    }
+
+    unsigned numSrc() const
+    {
+        return static_cast<unsigned>(inputs_.size());
+    }
+    unsigned numDst() const
+    {
+        return static_cast<unsigned>(outputs_.size());
+    }
+
+    /** True if source port @p src can accept a packet this cycle. */
+    bool
+    canInject(unsigned src) const
+    {
+        return !inputs_[src].queue.full();
+    }
+
+    /**
+     * Inject a packet at @p src headed to @p dst.
+     * @return false if the input queue is full.
+     */
+    bool
+    inject(Cycle now, unsigned src, unsigned dst, T payload)
+    {
+        GPULAT_ASSERT(dst < numDst(), "bad crossbar destination");
+        return inputs_[src].queue.push(
+            now, Packet{dst, std::move(payload)});
+    }
+
+    /**
+     * Advance one cycle: move up to one ready packet to each
+     * destination output queue, arbitrating round-robin among
+     * sources whose head packet targets that destination.
+     */
+    void
+    tick(Cycle now)
+    {
+        const unsigned nsrc = numSrc();
+        for (unsigned d = 0; d < numDst(); ++d) {
+            if (outputs_[d].full())
+                continue;
+            bool contended = false;
+            const unsigned start = rrPtr_[d];
+            for (unsigned k = 0; k < nsrc; ++k) {
+                unsigned s = (start + k) % nsrc;
+                auto &in = inputs_[s];
+                if (!in.queue.headReady(now) || in.poppedThisCycle)
+                    continue;
+                if (in.queue.front().dst != d) {
+                    continue;
+                }
+                if (contended) {
+                    arbStalls_->inc();
+                    continue;
+                }
+                Packet pkt = in.queue.pop();
+                in.poppedThisCycle = true;
+                bool ok = outputs_[d].push(now, std::move(pkt.payload));
+                GPULAT_ASSERT(ok, "output push must succeed");
+                transferred_->inc();
+                rrPtr_[d] = (s + 1) % nsrc;
+                contended = true; // this dst is served; count losers
+            }
+        }
+        for (auto &in : inputs_)
+            in.poppedThisCycle = false;
+    }
+
+    /** True if @p dst has a deliverable packet. */
+    bool
+    deliverable(unsigned dst, Cycle now) const
+    {
+        return outputs_[dst].headReady(now);
+    }
+
+    /** Peek the deliverable packet at @p dst. */
+    const T &peek(unsigned dst) const { return outputs_[dst].front(); }
+
+    /** Pop the deliverable packet at @p dst. */
+    T eject(unsigned dst) { return outputs_[dst].pop(); }
+
+    /** True when no packet is anywhere in the crossbar. */
+    bool
+    empty() const
+    {
+        for (const auto &in : inputs_)
+            if (!in.queue.empty())
+                return false;
+        for (const auto &out : outputs_)
+            if (!out.empty())
+                return false;
+        return true;
+    }
+
+    void
+    clear()
+    {
+        for (auto &in : inputs_)
+            in.queue.clear();
+        for (auto &out : outputs_)
+            out.clear();
+    }
+
+  private:
+    struct Packet
+    {
+        unsigned dst;
+        T payload;
+    };
+
+    struct InputPort
+    {
+        InputPort(std::size_t capacity, Cycle latency)
+            : queue(capacity, latency)
+        {
+        }
+        TimedQueue<Packet> queue;
+        bool poppedThisCycle = false;
+    };
+
+    std::string name_;
+    Cycle latency_;
+    std::vector<InputPort> inputs_;
+    std::vector<TimedQueue<T>> outputs_;
+    std::vector<unsigned> rrPtr_;
+
+    Counter *transferred_;
+    Counter *arbStalls_;
+};
+
+} // namespace gpulat
+
+#endif // GPULAT_ICNT_CROSSBAR_HH

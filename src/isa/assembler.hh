@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Text assembler for the gpulat mini ISA.
+ *
+ * Syntax (one instruction per line; ';', '#' and '//' start comments):
+ *
+ *     .kernel bfs_level        ; kernel name (optional, arg to parse)
+ *     .regs 16                 ; per-thread register count (optional)
+ *     .shared 4096             ; shared memory bytes (optional)
+ *     start:                   ; labels end with ':'
+ *         s2r   r0, tid
+ *         mov   r1, param0     ; kernel parameter 0
+ *         iadd  r2, r0, 5      ; immediates in decimal or 0x hex
+ *         setp.lt p0, r2, r1
+ *         @p0 bra start        ; guards: @p0 / @!p0
+ *         ld.global r3, [r1+8]
+ *         st.shared [r0], r3
+ *         clock r4, r3         ; clock read with timing dependency
+ *         bar
+ *         exit
+ */
+
+#ifndef GPULAT_ISA_ASSEMBLER_HH
+#define GPULAT_ISA_ASSEMBLER_HH
+
+#include <string>
+
+#include "isa/kernel.hh"
+
+namespace gpulat {
+
+/**
+ * Assemble @p source into a Kernel.
+ *
+ * @param source full assembler text.
+ * @param default_name kernel name if no .kernel directive appears.
+ * @throws FatalError on any syntax or semantic error, with line info.
+ */
+Kernel assemble(const std::string &source,
+                const std::string &default_name = "kernel");
+
+} // namespace gpulat
+
+#endif // GPULAT_ISA_ASSEMBLER_HH

@@ -1,0 +1,168 @@
+#include "isa/isa.hh"
+
+#include <sstream>
+
+namespace gpulat {
+
+const char *
+toString(Opcode op)
+{
+    switch (op) {
+      case Opcode::NOP: return "nop";
+      case Opcode::EXIT: return "exit";
+      case Opcode::BAR: return "bar";
+      case Opcode::MOV: return "mov";
+      case Opcode::S2R: return "s2r";
+      case Opcode::CLOCK: return "clock";
+      case Opcode::IADD: return "iadd";
+      case Opcode::ISUB: return "isub";
+      case Opcode::IMUL: return "imul";
+      case Opcode::IMAD: return "imad";
+      case Opcode::SHL: return "shl";
+      case Opcode::SHR: return "shr";
+      case Opcode::AND: return "and";
+      case Opcode::OR: return "or";
+      case Opcode::XOR: return "xor";
+      case Opcode::IMIN: return "imin";
+      case Opcode::IMAX: return "imax";
+      case Opcode::FADD: return "fadd";
+      case Opcode::FMUL: return "fmul";
+      case Opcode::FFMA: return "ffma";
+      case Opcode::I2F: return "i2f";
+      case Opcode::F2I: return "f2i";
+      case Opcode::SETP: return "setp";
+      case Opcode::BRA: return "bra";
+      case Opcode::LD: return "ld";
+      case Opcode::ST: return "st";
+      case Opcode::ATOM: return "atom";
+    }
+    return "?";
+}
+
+const char *
+toString(CmpOp cmp)
+{
+    switch (cmp) {
+      case CmpOp::EQ: return "eq";
+      case CmpOp::NE: return "ne";
+      case CmpOp::LT: return "lt";
+      case CmpOp::LE: return "le";
+      case CmpOp::GT: return "gt";
+      case CmpOp::GE: return "ge";
+    }
+    return "?";
+}
+
+const char *
+toString(AtomOp op)
+{
+    switch (op) {
+      case AtomOp::Add: return "add";
+      case AtomOp::Max: return "max";
+      case AtomOp::Exch: return "exch";
+    }
+    return "?";
+}
+
+const char *
+toString(SpecialReg sreg)
+{
+    switch (sreg) {
+      case SpecialReg::Tid: return "tid";
+      case SpecialReg::Ctaid: return "ctaid";
+      case SpecialReg::Ntid: return "ntid";
+      case SpecialReg::Nctaid: return "nctaid";
+      case SpecialReg::LaneId: return "laneid";
+      case SpecialReg::WarpId: return "warpid";
+      case SpecialReg::SmId: return "smid";
+    }
+    return "?";
+}
+
+std::string
+disassemble(const Instruction &inst)
+{
+    std::ostringstream oss;
+    if (inst.pred != kNoReg)
+        oss << "@" << (inst.predNeg ? "!" : "") << "p" << inst.pred
+            << " ";
+
+    switch (inst.op) {
+      case Opcode::NOP:
+      case Opcode::EXIT:
+      case Opcode::BAR:
+        oss << toString(inst.op);
+        break;
+      case Opcode::MOV:
+        oss << "mov r" << inst.dst << ", ";
+        if (inst.param != kNoReg)
+            oss << "param" << inst.param;
+        else if (inst.useImm)
+            oss << inst.imm;
+        else
+            oss << "r" << inst.srcB;
+        break;
+      case Opcode::S2R:
+        oss << "s2r r" << inst.dst << ", " << toString(inst.sreg);
+        break;
+      case Opcode::CLOCK:
+        oss << "clock r" << inst.dst;
+        if (inst.srcA != kNoReg)
+            oss << ", r" << inst.srcA;
+        break;
+      case Opcode::IMAD:
+      case Opcode::FFMA:
+        oss << toString(inst.op) << " r" << inst.dst << ", r"
+            << inst.srcA << ", r" << inst.srcB << ", r" << inst.srcC;
+        break;
+      case Opcode::I2F:
+      case Opcode::F2I:
+        oss << toString(inst.op) << " r" << inst.dst << ", r"
+            << inst.srcA;
+        break;
+      case Opcode::SETP:
+        oss << "setp." << toString(inst.cmp) << " p" << inst.predDst
+            << ", r" << inst.srcA << ", ";
+        if (inst.useImm)
+            oss << inst.imm;
+        else
+            oss << "r" << inst.srcB;
+        break;
+      case Opcode::BRA:
+        oss << "bra " << inst.target;
+        if (inst.pred != kNoReg)
+            oss << " (reconv " << inst.reconv << ")";
+        break;
+      case Opcode::LD:
+        oss << "ld." << toString(inst.space) << " r" << inst.dst
+            << ", [r" << inst.srcA;
+        if (inst.imm)
+            oss << "+" << inst.imm;
+        oss << "]";
+        break;
+      case Opcode::ST:
+        oss << "st." << toString(inst.space) << " [r" << inst.srcA;
+        if (inst.imm)
+            oss << "+" << inst.imm;
+        oss << "], r" << inst.srcB;
+        break;
+      case Opcode::ATOM:
+        oss << "atom." << toString(inst.atomOp) << " r" << inst.dst
+            << ", [r" << inst.srcA;
+        if (inst.imm)
+            oss << "+" << inst.imm;
+        oss << "], r" << inst.srcB;
+        break;
+      default:
+        oss << toString(inst.op) << " r" << inst.dst << ", r"
+            << inst.srcA << ", ";
+        if (inst.useImm)
+            oss << inst.imm;
+        else
+            oss << "r" << inst.srcB;
+        break;
+    }
+    return oss.str();
+}
+
+} // namespace gpulat

@@ -1,0 +1,499 @@
+#include "isa/kernel.hh"
+
+#include <algorithm>
+#include <set>
+
+#include "common/log.hh"
+
+namespace gpulat {
+
+namespace {
+
+/** Simple dynamic bitset sized at construction. */
+class BitSet
+{
+  public:
+    explicit BitSet(std::size_t n, bool ones = false)
+        : n_(n), words_((n + 63) / 64, ones ? ~0ull : 0ull)
+    {
+        trim();
+    }
+
+    void set(std::size_t i) { words_[i / 64] |= 1ull << (i % 64); }
+    void clearBit(std::size_t i)
+    {
+        words_[i / 64] &= ~(1ull << (i % 64));
+    }
+    bool test(std::size_t i) const
+    {
+        return words_[i / 64] >> (i % 64) & 1;
+    }
+
+    /** this &= other; returns true if changed. */
+    bool
+    intersectWith(const BitSet &other)
+    {
+        bool changed = false;
+        for (std::size_t w = 0; w < words_.size(); ++w) {
+            auto nv = words_[w] & other.words_[w];
+            changed |= nv != words_[w];
+            words_[w] = nv;
+        }
+        return changed;
+    }
+
+    bool operator==(const BitSet &other) const
+    {
+        return words_ == other.words_;
+    }
+
+    std::size_t
+    count() const
+    {
+        std::size_t c = 0;
+        for (auto w : words_)
+            c += static_cast<std::size_t>(__builtin_popcountll(w));
+        return c;
+    }
+
+  private:
+    void
+    trim()
+    {
+        if (n_ % 64)
+            words_.back() &= (1ull << (n_ % 64)) - 1;
+    }
+
+    std::size_t n_;
+    std::vector<std::uint64_t> words_;
+};
+
+} // namespace
+
+KernelBuilder::KernelBuilder(std::string name) : name_(std::move(name)) {}
+
+Instruction &
+KernelBuilder::emit(Opcode op)
+{
+    GPULAT_ASSERT(!finalized_, "builder reused after finalize");
+    code_.emplace_back();
+    Instruction &inst = code_.back();
+    inst.op = op;
+    inst.pred = pendingPred_;
+    inst.predNeg = pendingPredNeg_;
+    pendingPred_ = kNoReg;
+    pendingPredNeg_ = false;
+    return inst;
+}
+
+KernelBuilder &
+KernelBuilder::pred(int p, bool negate)
+{
+    GPULAT_ASSERT(p >= 0 && p < kNumPreds, "bad predicate p", p);
+    pendingPred_ = p;
+    pendingPredNeg_ = negate;
+    return *this;
+}
+
+KernelBuilder &
+KernelBuilder::nop()
+{
+    emit(Opcode::NOP);
+    return *this;
+}
+
+KernelBuilder &
+KernelBuilder::exit()
+{
+    emit(Opcode::EXIT);
+    return *this;
+}
+
+KernelBuilder &
+KernelBuilder::bar()
+{
+    emit(Opcode::BAR);
+    return *this;
+}
+
+KernelBuilder &
+KernelBuilder::movImm(int rd, std::int64_t imm)
+{
+    Instruction &i = emit(Opcode::MOV);
+    i.dst = rd;
+    i.imm = imm;
+    i.useImm = true;
+    maxRegSeen_ = std::max(maxRegSeen_, rd);
+    return *this;
+}
+
+KernelBuilder &
+KernelBuilder::movReg(int rd, int rs)
+{
+    Instruction &i = emit(Opcode::MOV);
+    i.dst = rd;
+    i.srcB = rs;
+    maxRegSeen_ = std::max({maxRegSeen_, rd, rs});
+    return *this;
+}
+
+KernelBuilder &
+KernelBuilder::movParam(int rd, int param_idx)
+{
+    GPULAT_ASSERT(param_idx >= 0 && param_idx < kMaxParams,
+                  "bad param index ", param_idx);
+    Instruction &i = emit(Opcode::MOV);
+    i.dst = rd;
+    i.param = param_idx;
+    maxRegSeen_ = std::max(maxRegSeen_, rd);
+    return *this;
+}
+
+KernelBuilder &
+KernelBuilder::s2r(int rd, SpecialReg sr)
+{
+    Instruction &i = emit(Opcode::S2R);
+    i.dst = rd;
+    i.sreg = sr;
+    maxRegSeen_ = std::max(maxRegSeen_, rd);
+    return *this;
+}
+
+KernelBuilder &
+KernelBuilder::clock(int rd, int dep)
+{
+    Instruction &i = emit(Opcode::CLOCK);
+    i.dst = rd;
+    i.srcA = dep;
+    maxRegSeen_ = std::max({maxRegSeen_, rd, dep});
+    return *this;
+}
+
+KernelBuilder &
+KernelBuilder::alu(Opcode op, int rd, int ra, int rb)
+{
+    Instruction &i = emit(op);
+    i.dst = rd;
+    i.srcA = ra;
+    i.srcB = rb;
+    maxRegSeen_ = std::max({maxRegSeen_, rd, ra, rb});
+    return *this;
+}
+
+KernelBuilder &
+KernelBuilder::aluImm(Opcode op, int rd, int ra, std::int64_t imm)
+{
+    Instruction &i = emit(op);
+    i.dst = rd;
+    i.srcA = ra;
+    i.imm = imm;
+    i.useImm = true;
+    maxRegSeen_ = std::max({maxRegSeen_, rd, ra});
+    return *this;
+}
+
+KernelBuilder &
+KernelBuilder::imad(int rd, int ra, int rb, int rc)
+{
+    Instruction &i = emit(Opcode::IMAD);
+    i.dst = rd;
+    i.srcA = ra;
+    i.srcB = rb;
+    i.srcC = rc;
+    maxRegSeen_ = std::max({maxRegSeen_, rd, ra, rb, rc});
+    return *this;
+}
+
+KernelBuilder &
+KernelBuilder::ffma(int rd, int ra, int rb, int rc)
+{
+    Instruction &i = emit(Opcode::FFMA);
+    i.dst = rd;
+    i.srcA = ra;
+    i.srcB = rb;
+    i.srcC = rc;
+    maxRegSeen_ = std::max({maxRegSeen_, rd, ra, rb, rc});
+    return *this;
+}
+
+KernelBuilder &
+KernelBuilder::cvt(Opcode op, int rd, int ra)
+{
+    GPULAT_ASSERT(op == Opcode::I2F || op == Opcode::F2I,
+                  "cvt expects I2F/F2I");
+    Instruction &i = emit(op);
+    i.dst = rd;
+    i.srcA = ra;
+    maxRegSeen_ = std::max({maxRegSeen_, rd, ra});
+    return *this;
+}
+
+KernelBuilder &
+KernelBuilder::setp(CmpOp cmp, int pd, int ra, int rb)
+{
+    Instruction &i = emit(Opcode::SETP);
+    i.cmp = cmp;
+    i.predDst = pd;
+    i.srcA = ra;
+    i.srcB = rb;
+    maxRegSeen_ = std::max({maxRegSeen_, ra, rb});
+    return *this;
+}
+
+KernelBuilder &
+KernelBuilder::setpImm(CmpOp cmp, int pd, int ra, std::int64_t imm)
+{
+    Instruction &i = emit(Opcode::SETP);
+    i.cmp = cmp;
+    i.predDst = pd;
+    i.srcA = ra;
+    i.imm = imm;
+    i.useImm = true;
+    maxRegSeen_ = std::max(maxRegSeen_, ra);
+    return *this;
+}
+
+KernelBuilder &
+KernelBuilder::bra(const std::string &label)
+{
+    emit(Opcode::BRA);
+    fixups_.emplace_back(static_cast<std::uint32_t>(code_.size() - 1),
+                         label);
+    return *this;
+}
+
+KernelBuilder &
+KernelBuilder::ld(MemSpace space, int rd, int ra, std::int64_t offset)
+{
+    Instruction &i = emit(Opcode::LD);
+    i.space = space;
+    i.dst = rd;
+    i.srcA = ra;
+    i.imm = offset;
+    maxRegSeen_ = std::max({maxRegSeen_, rd, ra});
+    return *this;
+}
+
+KernelBuilder &
+KernelBuilder::st(MemSpace space, int ra, int rb, std::int64_t offset)
+{
+    Instruction &i = emit(Opcode::ST);
+    i.space = space;
+    i.srcA = ra;
+    i.srcB = rb;
+    i.imm = offset;
+    maxRegSeen_ = std::max({maxRegSeen_, ra, rb});
+    return *this;
+}
+
+KernelBuilder &
+KernelBuilder::atom(AtomOp op, int rd, int ra, int rb,
+                    std::int64_t offset)
+{
+    Instruction &i = emit(Opcode::ATOM);
+    i.atomOp = op;
+    i.space = MemSpace::Global;
+    i.dst = rd;
+    i.srcA = ra;
+    i.srcB = rb;
+    i.imm = offset;
+    maxRegSeen_ = std::max({maxRegSeen_, rd, ra, rb});
+    return *this;
+}
+
+KernelBuilder &
+KernelBuilder::label(const std::string &name)
+{
+    GPULAT_ASSERT(!labels_.count(name), "duplicate label '", name, "'");
+    labels_[name] = static_cast<std::uint32_t>(code_.size());
+    return *this;
+}
+
+KernelBuilder &
+KernelBuilder::shared(std::uint32_t bytes)
+{
+    sharedBytes_ = bytes;
+    return *this;
+}
+
+KernelBuilder &
+KernelBuilder::regs(int n)
+{
+    numRegs_ = n;
+    return *this;
+}
+
+std::uint32_t
+KernelBuilder::pc() const
+{
+    return static_cast<std::uint32_t>(code_.size());
+}
+
+void
+KernelBuilder::validate() const
+{
+    GPULAT_ASSERT(!code_.empty(), "empty kernel '", name_, "'");
+    const Instruction &last = code_.back();
+    if (!last.isExit() && !(last.isBranch() && last.pred == kNoReg))
+        fatal("kernel '", name_, "' does not end in exit/bra");
+
+    auto check_reg = [&](int r, bool allow_none) {
+        if (r == kNoReg) {
+            GPULAT_ASSERT(allow_none, "missing register operand");
+            return;
+        }
+        if (r < 0 || r >= kNumRegs)
+            fatal("kernel '", name_, "': register r", r,
+                  " out of range");
+    };
+
+    for (const auto &inst : code_) {
+        check_reg(inst.dst, true);
+        check_reg(inst.srcA, true);
+        check_reg(inst.srcB, true);
+        check_reg(inst.srcC, true);
+        if (inst.isBranch() && inst.target >= code_.size())
+            fatal("kernel '", name_, "': branch target ", inst.target,
+                  " out of range");
+        if (inst.op == Opcode::SETP &&
+            (inst.predDst < 0 || inst.predDst >= kNumPreds))
+            fatal("kernel '", name_, "': bad setp destination");
+    }
+}
+
+void
+KernelBuilder::computeReconvergence()
+{
+    const std::size_t n = code_.size();
+
+    // Basic-block leaders: entry, branch targets, post-branch/exit pcs.
+    std::set<std::uint32_t> leaders;
+    leaders.insert(0);
+    for (std::size_t pc = 0; pc < n; ++pc) {
+        const Instruction &inst = code_[pc];
+        if (inst.isBranch()) {
+            leaders.insert(inst.target);
+            if (pc + 1 < n)
+                leaders.insert(static_cast<std::uint32_t>(pc + 1));
+        } else if (inst.isExit() && pc + 1 < n) {
+            leaders.insert(static_cast<std::uint32_t>(pc + 1));
+        }
+    }
+
+    std::vector<std::uint32_t> starts(leaders.begin(), leaders.end());
+    const std::size_t nblocks = starts.size();
+    // pc -> block index
+    std::vector<std::size_t> block_of(n);
+    for (std::size_t b = 0; b < nblocks; ++b) {
+        std::uint32_t end = b + 1 < nblocks
+            ? starts[b + 1] : static_cast<std::uint32_t>(n);
+        for (std::uint32_t pc = starts[b]; pc < end; ++pc)
+            block_of[pc] = b;
+    }
+
+    // Successor lists. An unpredicated EXIT ends control flow; a
+    // predicated EXIT behaves like a conditional lane kill and falls
+    // through.
+    std::vector<std::vector<std::size_t>> succ(nblocks);
+    for (std::size_t b = 0; b < nblocks; ++b) {
+        std::uint32_t last = (b + 1 < nblocks
+            ? starts[b + 1] : static_cast<std::uint32_t>(n)) - 1;
+        const Instruction &inst = code_[last];
+        if (inst.isBranch()) {
+            succ[b].push_back(block_of[inst.target]);
+            if (inst.pred != kNoReg && last + 1 < n)
+                succ[b].push_back(block_of[last + 1]);
+        } else if (inst.isExit() && inst.pred == kNoReg) {
+            // no successors
+        } else if (last + 1 < n) {
+            succ[b].push_back(block_of[last + 1]);
+        }
+    }
+
+    // Post-dominator sets over nblocks + 1 nodes (virtual exit at
+    // index nblocks). Iterative dataflow to a fixpoint.
+    const std::size_t universe = nblocks + 1;
+    std::vector<BitSet> pdom(universe, BitSet(universe, true));
+    BitSet virt_only(universe);
+    virt_only.set(nblocks);
+    pdom[nblocks] = virt_only;
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (std::size_t b = nblocks; b-- > 0;) {
+            BitSet nv(universe, true);
+            if (succ[b].empty()) {
+                nv = virt_only;
+            } else {
+                for (std::size_t s : succ[b])
+                    nv.intersectWith(pdom[s]);
+            }
+            nv.set(b);
+            if (!(nv == pdom[b])) {
+                pdom[b] = nv;
+                changed = true;
+            }
+        }
+    }
+
+    // Immediate post-dominator: the strict post-dominator with the
+    // largest pdom set (post-dominators of a node form a chain).
+    auto ipdom_pc = [&](std::size_t b) -> std::uint32_t {
+        std::size_t best = universe;
+        std::size_t best_count = 0;
+        for (std::size_t c = 0; c < nblocks; ++c) {
+            if (c == b || !pdom[b].test(c))
+                continue;
+            std::size_t cnt = pdom[c].count();
+            if (cnt > best_count) {
+                best_count = cnt;
+                best = c;
+            }
+        }
+        if (best == universe)
+            return UINT32_MAX; // paths never reconverge (exit-only)
+        return starts[best];
+    };
+
+    for (std::size_t pc = 0; pc < n; ++pc) {
+        Instruction &inst = code_[pc];
+        if (inst.isBranch() && inst.pred != kNoReg)
+            inst.reconv = ipdom_pc(block_of[pc]);
+    }
+}
+
+Kernel
+KernelBuilder::finalize()
+{
+    GPULAT_ASSERT(!finalized_, "finalize called twice");
+    finalized_ = true;
+
+    for (const auto &[pc, label] : fixups_) {
+        auto it = labels_.find(label);
+        if (it == labels_.end())
+            fatal("kernel '", name_, "': undefined label '", label,
+                  "'");
+        if (it->second >= code_.size())
+            fatal("kernel '", name_, "': label '", label,
+                  "' points past the end");
+        code_[pc].target = it->second;
+    }
+
+    validate();
+    computeReconvergence();
+
+    Kernel k;
+    k.name = name_;
+    k.code = std::move(code_);
+    k.sharedBytes = sharedBytes_;
+    k.numRegs = numRegs_ > 0 ? numRegs_ : maxRegSeen_ + 1;
+    if (k.numRegs <= 0)
+        k.numRegs = 1;
+    if (k.numRegs > kNumRegs)
+        fatal("kernel '", name_, "' uses ", k.numRegs,
+              " registers; ISA max is ", kNumRegs);
+    return k;
+}
+
+} // namespace gpulat

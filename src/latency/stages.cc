@@ -1,0 +1,71 @@
+#include "latency/stages.hh"
+
+#include "common/log.hh"
+
+namespace gpulat {
+
+const char *
+toString(Stage stage)
+{
+    switch (stage) {
+      case Stage::SmBase: return "SM Base";
+      case Stage::L1ToIcnt: return "L1toICNT";
+      case Stage::IcntToRop: return "ICNTtoROP";
+      case Stage::RopToL2Q: return "ROPtoL2Q";
+      case Stage::L2QToDramQ: return "L2QtoDRAMQ";
+      case Stage::DramQToSched: return "DRAM(QtoSch)";
+      case Stage::DramSchedToData: return "DRAM(SchToA)";
+      case Stage::FetchToSm: return "Fetch2SM";
+      case Stage::NumStages: break;
+    }
+    return "?";
+}
+
+const char *
+toString(HitLevel level)
+{
+    switch (level) {
+      case HitLevel::L1: return "L1";
+      case HitLevel::L2: return "L2";
+      case HitLevel::Dram: return "DRAM";
+    }
+    return "?";
+}
+
+std::array<Cycle, kNumStages>
+LatencyTrace::stageCycles() const
+{
+    std::array<Cycle, kNumStages> out{};
+    auto at = [&out](Stage s) -> Cycle & {
+        return out[static_cast<std::size_t>(s)];
+    };
+
+    GPULAT_ASSERT(issue != kNoCycle && complete != kNoCycle,
+                  "incomplete latency trace");
+
+    if (hitLevel == HitLevel::L1) {
+        // The L1 lives inside the SM; the paper shows hits as pure
+        // "SM base" time.
+        at(Stage::SmBase) = complete - issue;
+        return out;
+    }
+
+    at(Stage::SmBase) = l1Access - issue;
+    at(Stage::L1ToIcnt) = icntInject - l1Access;
+    at(Stage::IcntToRop) = ropEnq - icntInject;
+    at(Stage::RopToL2Q) = l2Enq - ropEnq;
+
+    if (hitLevel == HitLevel::L2) {
+        at(Stage::L2QToDramQ) = l2Done - l2Enq;
+        at(Stage::FetchToSm) = complete - l2Done;
+        return out;
+    }
+
+    at(Stage::L2QToDramQ) = dramEnq - l2Enq;
+    at(Stage::DramQToSched) = dramSched - dramEnq;
+    at(Stage::DramSchedToData) = dramData - dramSched;
+    at(Stage::FetchToSm) = complete - dramData;
+    return out;
+}
+
+} // namespace gpulat

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Memory-pipeline stage taxonomy and per-request latency traces.
+ *
+ * The stages mirror the legend of Figure 1 in the paper (and the
+ * GPGPU-Sim memory pipeline the authors instrumented):
+ *
+ *   SM Base       issue -> L1 access (address gen + LSU queueing)
+ *   L1toICNT      L1 miss detect -> injected into interconnect
+ *   ICNTtoROP     crossbar traversal + arbitration -> ROP queue
+ *   ROPtoL2Q      ROP pipeline -> L2 queue entry
+ *   L2QtoDRAMQ    L2 queue wait + L2 access (ends here on L2 hit)
+ *   DRAM(QtoSch)  DRAM queue wait until the scheduler selects it
+ *   DRAM(SchToA)  DRAM bank timing until data is available
+ *   Fetch2SM      return network + fill + writeback
+ */
+
+#ifndef GPULAT_LATENCY_STAGES_HH
+#define GPULAT_LATENCY_STAGES_HH
+
+#include <array>
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace gpulat {
+
+/** Pipeline stages a memory fetch's lifetime decomposes into. */
+enum class Stage : std::uint8_t {
+    SmBase,
+    L1ToIcnt,
+    IcntToRop,
+    RopToL2Q,
+    L2QToDramQ,
+    DramQToSched,
+    DramSchedToData,
+    FetchToSm,
+    NumStages,
+};
+
+inline constexpr std::size_t kNumStages =
+    static_cast<std::size_t>(Stage::NumStages);
+
+/** Paper-style printable stage name. */
+const char *toString(Stage stage);
+
+/** Where in the hierarchy a request was serviced. */
+enum class HitLevel : std::uint8_t { L1, L2, Dram };
+
+const char *toString(HitLevel level);
+
+/**
+ * Absolute event timestamps for one memory request. Events that a
+ * request skips (e.g. everything past L1 for an L1 hit) stay at
+ * kNoCycle. stageCycles() converts to per-stage durations; by
+ * convention (matching the paper's figure) an L1 hit attributes its
+ * entire latency to SM Base.
+ */
+struct LatencyTrace
+{
+    Cycle issue = kNoCycle;      ///< warp issued the load
+    Cycle l1Access = kNoCycle;   ///< L1 lookup performed
+    Cycle icntInject = kNoCycle; ///< entered interconnect input queue
+    Cycle ropEnq = kNoCycle;     ///< accepted into ROP queue
+    Cycle l2Enq = kNoCycle;      ///< entered L2 access queue
+    Cycle l2Done = kNoCycle;     ///< L2 hit data available
+    Cycle dramEnq = kNoCycle;    ///< entered DRAM scheduler queue
+    Cycle dramSched = kNoCycle;  ///< selected by DRAM scheduler
+    Cycle dramData = kNoCycle;   ///< DRAM data available
+    Cycle complete = kNoCycle;   ///< writeback at the SM
+
+    HitLevel hitLevel = HitLevel::L1;
+
+    /** Total lifetime in cycles (complete - issue). */
+    Cycle
+    total() const
+    {
+        return complete - issue;
+    }
+
+    /** Duration attributed to each stage; sums to total(). */
+    std::array<Cycle, kNumStages> stageCycles() const;
+};
+
+} // namespace gpulat
+
+#endif // GPULAT_LATENCY_STAGES_HH

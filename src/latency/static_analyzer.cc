@@ -1,0 +1,88 @@
+#include "latency/static_analyzer.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace gpulat {
+
+namespace {
+
+double
+medianOf(std::vector<double> values)
+{
+    GPULAT_ASSERT(!values.empty(), "median of nothing");
+    std::sort(values.begin(), values.end());
+    const std::size_t n = values.size();
+    return n % 2 ? values[n / 2]
+                 : 0.5 * (values[n / 2 - 1] + values[n / 2]);
+}
+
+} // namespace
+
+std::vector<LatencyLevel>
+detectPlateaus(const std::vector<LatencyCurvePoint> &curve,
+               double jump_threshold)
+{
+    std::vector<LatencyLevel> levels;
+    if (curve.empty())
+        return levels;
+
+    for (std::size_t i = 1; i < curve.size(); ++i) {
+        GPULAT_ASSERT(curve[i].footprintBytes >
+                      curve[i - 1].footprintBytes,
+                      "curve must be sorted by footprint");
+    }
+
+    std::vector<double> plateau{curve.front().latency};
+    std::uint64_t lo = curve.front().footprintBytes;
+    std::uint64_t hi = lo;
+
+    auto flush = [&]() {
+        levels.push_back(LatencyLevel{medianOf(plateau), lo, hi});
+    };
+
+    for (std::size_t i = 1; i < curve.size(); ++i) {
+        const double ref = medianOf(plateau);
+        const bool jump =
+            curve[i].latency > ref * (1.0 + jump_threshold);
+        if (jump) {
+            flush();
+            plateau.clear();
+            lo = curve[i].footprintBytes;
+        }
+        plateau.push_back(curve[i].latency);
+        hi = curve[i].footprintBytes;
+    }
+    flush();
+    return levels;
+}
+
+std::uint64_t
+detectLineSize(const std::vector<StrideCurvePoint> &curve,
+               double saturation)
+{
+    GPULAT_ASSERT(!curve.empty(), "empty stride curve");
+    for (std::size_t i = 1; i < curve.size(); ++i) {
+        GPULAT_ASSERT(curve[i].strideBytes > curve[i - 1].strideBytes,
+                      "curve must be sorted by stride");
+    }
+
+    double lo = curve.front().latency;
+    double hi = lo;
+    for (const auto &point : curve) {
+        lo = std::min(lo, point.latency);
+        hi = std::max(hi, point.latency);
+    }
+    // Flat curve: no cache level between the strides probed.
+    if (hi <= lo * 1.10)
+        return 0;
+
+    for (const auto &point : curve) {
+        if (point.latency >= hi * (1.0 - saturation))
+            return point.strideBytes;
+    }
+    return curve.back().strideBytes;
+}
+
+} // namespace gpulat

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Table-I analysis: turn a measured latency-vs-footprint pointer-
+ * chase curve into discrete hierarchy levels (plateau detection,
+ * after Wong et al., "Demystifying GPU Microarchitecture through
+ * Microbenchmarking", ISPASS 2010).
+ */
+
+#ifndef GPULAT_LATENCY_STATIC_ANALYZER_HH
+#define GPULAT_LATENCY_STATIC_ANALYZER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace gpulat {
+
+/** One point of a measured latency curve. */
+struct LatencyCurvePoint
+{
+    std::uint64_t footprintBytes;
+    double latency; ///< mean cycles per access
+};
+
+/** One detected hierarchy level (plateau of the curve). */
+struct LatencyLevel
+{
+    double latency;            ///< median latency of the plateau
+    std::uint64_t minFootprint; ///< smallest footprint on the plateau
+    std::uint64_t maxFootprint; ///< largest footprint on the plateau
+};
+
+/**
+ * Detect plateaus in a latency curve.
+ *
+ * Points must be sorted by footprint. A new level starts whenever
+ * the latency rises by more than @p jump_threshold relative to the
+ * current plateau's running median. Noise below the threshold is
+ * absorbed into the current plateau.
+ *
+ * @return detected levels, smallest footprint first (i.e. closest
+ *         cache level first; the last level is backing DRAM).
+ */
+std::vector<LatencyLevel>
+detectPlateaus(const std::vector<LatencyCurvePoint> &curve,
+               double jump_threshold = 0.15);
+
+/** One point of a latency-vs-stride curve. */
+struct StrideCurvePoint
+{
+    std::uint64_t strideBytes;
+    double latency; ///< mean cycles per access
+};
+
+/**
+ * Infer the cache line size from a latency-vs-stride sweep taken at
+ * a footprint larger than the cache: for stride < lineBytes a
+ * fraction (stride / lineBytes) of accesses miss, so mean latency
+ * rises with stride and saturates once stride reaches the line
+ * size. Returns the smallest stride whose latency is within
+ * @p saturation of the curve's maximum.
+ *
+ * @param curve points sorted by stride.
+ * @return inferred line size in bytes, or 0 if the curve is flat
+ *         (no cache present).
+ */
+std::uint64_t
+detectLineSize(const std::vector<StrideCurvePoint> &curve,
+               double saturation = 0.05);
+
+} // namespace gpulat
+
+#endif // GPULAT_LATENCY_STATIC_ANALYZER_HH

@@ -1,0 +1,62 @@
+#include "latency/summary.hh"
+
+#include <algorithm>
+
+#include "common/table.hh"
+
+namespace gpulat {
+
+LatencySummary
+computeSummary(const std::vector<LatencyTrace> &traces)
+{
+    std::array<std::vector<Cycle>, 3> totals;
+    for (const auto &t : traces)
+        totals[static_cast<std::size_t>(t.hitLevel)].push_back(
+            t.total());
+
+    LatencySummary summary;
+    for (std::size_t lvl = 0; lvl < 3; ++lvl) {
+        auto &values = totals[lvl];
+        LevelSummary &out = summary.levels[lvl];
+        out.count = values.size();
+        if (values.empty())
+            continue;
+        std::sort(values.begin(), values.end());
+        out.min = values.front();
+        out.max = values.back();
+        double sum = 0.0;
+        for (const Cycle v : values)
+            sum += static_cast<double>(v);
+        out.mean = sum / static_cast<double>(values.size());
+        auto pct = [&](double p) {
+            const auto idx = static_cast<std::size_t>(
+                p * static_cast<double>(values.size() - 1));
+            return values[idx];
+        };
+        out.p50 = pct(0.50);
+        out.p90 = pct(0.90);
+        out.p99 = pct(0.99);
+    }
+    return summary;
+}
+
+void
+LatencySummary::print(std::ostream &os) const
+{
+    TextTable table({"level", "count", "min", "mean", "p50", "p90",
+                     "p99", "max"});
+    for (std::size_t lvl = 0; lvl < 3; ++lvl) {
+        const LevelSummary &s = levels[lvl];
+        table.addRow({toString(static_cast<HitLevel>(lvl)),
+                      std::to_string(s.count),
+                      std::to_string(s.min),
+                      formatDouble(s.mean, 1),
+                      std::to_string(s.p50),
+                      std::to_string(s.p90),
+                      std::to_string(s.p99),
+                      std::to_string(s.max)});
+    }
+    table.print(os);
+}
+
+} // namespace gpulat

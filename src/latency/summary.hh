@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Per-hit-level latency summary: min/mean/percentiles of request
+ * latency split by where the request was serviced (L1/L2/DRAM).
+ * The loaded ("dynamic") counterpart of Table I: the same three
+ * rows, but measured under real traffic instead of idle chases.
+ */
+
+#ifndef GPULAT_LATENCY_SUMMARY_HH
+#define GPULAT_LATENCY_SUMMARY_HH
+
+#include <array>
+#include <ostream>
+#include <vector>
+
+#include "latency/stages.hh"
+
+namespace gpulat {
+
+/** Summary statistics for one hit level. */
+struct LevelSummary
+{
+    std::uint64_t count = 0;
+    Cycle min = 0;
+    Cycle max = 0;
+    double mean = 0.0;
+    Cycle p50 = 0;
+    Cycle p90 = 0;
+    Cycle p99 = 0;
+};
+
+/** Loaded-latency summary across the three service levels. */
+struct LatencySummary
+{
+    std::array<LevelSummary, 3> levels; ///< indexed by HitLevel
+
+    const LevelSummary &
+    at(HitLevel level) const
+    {
+        return levels[static_cast<std::size_t>(level)];
+    }
+
+    /** Aligned text table, one row per level. */
+    void print(std::ostream &os) const;
+};
+
+/** Compute the summary from completed request traces. */
+LatencySummary
+computeSummary(const std::vector<LatencyTrace> &traces);
+
+} // namespace gpulat
+
+#endif // GPULAT_LATENCY_SUMMARY_HH

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Functional device memory: flat byte store + bump allocator.
+ *
+ * Timing lives entirely in the caches/interconnect/DRAM models; this
+ * class is the architectural state kernels actually read and write.
+ */
+
+#ifndef GPULAT_MEM_DEVICE_MEMORY_HH
+#define GPULAT_MEM_DEVICE_MEMORY_HH
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "common/log.hh"
+#include "common/types.hh"
+
+namespace gpulat {
+
+class DeviceMemory
+{
+  public:
+    explicit DeviceMemory(std::uint64_t bytes) : data_(bytes, 0) {}
+
+    /**
+     * Allocate @p bytes with @p align alignment (bump allocator;
+     * there is no free(), experiments create a fresh Gpu instead).
+     */
+    Addr
+    alloc(std::uint64_t bytes, std::uint64_t align = 256)
+    {
+        GPULAT_ASSERT(align > 0 && (align & (align - 1)) == 0,
+                      "alignment must be a power of two");
+        Addr base = (brk_ + align - 1) & ~(align - 1);
+        if (base + bytes > data_.size())
+            fatal("device memory exhausted: want ", bytes,
+                  " bytes at ", base, ", have ", data_.size());
+        brk_ = base + bytes;
+        return base;
+    }
+
+    std::uint64_t
+    read64(Addr addr) const
+    {
+        checkRange(addr, 8);
+        std::uint64_t v;
+        std::memcpy(&v, &data_[addr], 8);
+        return v;
+    }
+
+    void
+    write64(Addr addr, std::uint64_t value)
+    {
+        checkRange(addr, 8);
+        std::memcpy(&data_[addr], &value, 8);
+    }
+
+    void
+    copyIn(Addr addr, const void *src, std::uint64_t bytes)
+    {
+        checkRange(addr, bytes);
+        std::memcpy(&data_[addr], src, bytes);
+    }
+
+    void
+    copyOut(Addr addr, void *dst, std::uint64_t bytes) const
+    {
+        checkRange(addr, bytes);
+        std::memcpy(dst, &data_[addr], bytes);
+    }
+
+    std::uint64_t size() const { return data_.size(); }
+    std::uint64_t allocated() const { return brk_; }
+
+  private:
+    void
+    checkRange(Addr addr, std::uint64_t bytes) const
+    {
+        if (addr + bytes > data_.size())
+            fatal("device memory access out of range: [", addr, ", ",
+                  addr + bytes, ") of ", data_.size());
+    }
+
+    std::vector<std::uint8_t> data_;
+    Addr brk_ = 0;
+};
+
+} // namespace gpulat
+
+#endif // GPULAT_MEM_DEVICE_MEMORY_HH

@@ -1,0 +1,91 @@
+#include "mem/dram.hh"
+
+#include "common/log.hh"
+
+namespace gpulat {
+
+DramChannel::DramChannel(std::string name, const DramParams &params,
+                         StatRegistry *stats)
+    : name_(std::move(name)), params_(params)
+{
+    GPULAT_ASSERT(params_.banks > 0, "channel needs banks");
+    GPULAT_ASSERT(params_.rowBytes > 0, "rows need a size");
+    banks_.resize(params_.banks);
+    GPULAT_ASSERT(stats != nullptr, "dram needs stats");
+    rowHits_ = &stats->counter(name_ + ".row_hits");
+    rowMisses_ = &stats->counter(name_ + ".row_misses");
+    rowClosed_ = &stats->counter(name_ + ".row_closed");
+}
+
+unsigned
+DramChannel::bankOf(Addr line_addr) const
+{
+    // Rows are contiguous within a bank; banks interleave at row
+    // granularity so streaming accesses spread across banks.
+    return static_cast<unsigned>(
+        (line_addr / params_.rowBytes) % params_.banks);
+}
+
+std::uint64_t
+DramChannel::rowOf(Addr line_addr) const
+{
+    return line_addr / params_.rowBytes / params_.banks;
+}
+
+bool
+DramChannel::rowHit(Addr line_addr) const
+{
+    const Bank &bank = banks_[bankOf(line_addr)];
+    return bank.rowOpen && bank.openRow == rowOf(line_addr);
+}
+
+bool
+DramChannel::bankReady(Addr line_addr, Cycle now) const
+{
+    return banks_[bankOf(line_addr)].readyAt <= now;
+}
+
+Cycle
+DramChannel::schedule(Addr line_addr, bool is_write, Cycle now)
+{
+    (void)is_write; // reads/writes share timing in this model
+    Bank &bank = banks_[bankOf(line_addr)];
+    const std::uint64_t row = rowOf(line_addr);
+    const DramTiming &t = params_.timing;
+
+    Cycle start = std::max(now, bank.readyAt);
+    Cycle first_data;
+    if (bank.rowOpen && bank.openRow == row) {
+        rowHits_->inc();
+        first_data = start + t.tCAS;
+    } else if (bank.rowOpen) {
+        rowMisses_->inc();
+        first_data = start + t.tRP + t.tRCD + t.tCAS;
+    } else {
+        rowClosed_->inc();
+        first_data = start + t.tRCD + t.tCAS;
+    }
+
+    // The burst must win the shared data bus.
+    Cycle burst_start = std::max(first_data, busFreeAt_);
+    Cycle done = burst_start + t.tBurst + t.tExtra;
+    busFreeAt_ = burst_start + t.tBurst;
+
+    bank.rowOpen = true;
+    bank.openRow = row;
+    // The bank can take its next column command once the burst is
+    // off the sense amps; approximating with the burst end keeps
+    // banks pipelined but serialized per bank.
+    bank.readyAt = burst_start + t.tBurst;
+    return done;
+}
+
+void
+DramChannel::reset()
+{
+    for (auto &bank : banks_)
+        bank = Bank{};
+    busFreeAt_ = 0;
+}
+
+} // namespace gpulat

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Banked GDDR-style DRAM channel timing model.
+ *
+ * One channel per memory partition. Banks keep an open row
+ * (open-page policy); the service time of a request depends on
+ * whether it hits the open row (CAS + burst), conflicts with
+ * another row (precharge + activate + CAS + burst) or targets a
+ * closed bank (activate + CAS + burst). A shared data bus
+ * serializes bursts. All parameters are in core ("hot") clock
+ * cycles, like every latency the paper reports.
+ */
+
+#ifndef GPULAT_MEM_DRAM_HH
+#define GPULAT_MEM_DRAM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace gpulat {
+
+/** DRAM timing parameters (core cycles). */
+struct DramTiming
+{
+    Cycle tRCD = 40;  ///< activate -> column command
+    Cycle tRP = 40;   ///< precharge
+    Cycle tCAS = 40;  ///< column command -> first data
+    Cycle tBurst = 8; ///< data transfer occupancy per request
+    /** Fixed pad modelling command/clock-domain crossing overheads
+     *  (lets a config match a measured end-to-end DRAM latency
+     *  without distorting the relative bank timings). */
+    Cycle tExtra = 0;
+};
+
+/** Geometry of one DRAM channel. */
+struct DramParams
+{
+    DramTiming timing;
+    unsigned banks = 8;
+    /** Bytes per row per bank (row-buffer locality granularity). */
+    std::uint64_t rowBytes = 2048;
+};
+
+/**
+ * One DRAM channel: bank state + data-bus serialization.
+ */
+class DramChannel
+{
+  public:
+    DramChannel(std::string name, const DramParams &params,
+                StatRegistry *stats);
+
+    /** Bank index a line address maps to. */
+    unsigned bankOf(Addr line_addr) const;
+    /** Row (within its bank) a line address maps to. */
+    std::uint64_t rowOf(Addr line_addr) const;
+
+    /** True if the request would hit the currently open row. */
+    bool rowHit(Addr line_addr) const;
+
+    /** True if the bank can accept a new command at @p now. */
+    bool bankReady(Addr line_addr, Cycle now) const;
+
+    /**
+     * Issue the request to its bank at cycle @p now (the scheduler
+     * has selected it). Updates bank/bus state.
+     * @return the cycle at which the data burst completes.
+     */
+    Cycle schedule(Addr line_addr, bool is_write, Cycle now);
+
+    const DramParams &params() const { return params_; }
+
+    /** Drop open rows / busy state (between experiments). */
+    void reset();
+
+  private:
+    struct Bank
+    {
+        bool rowOpen = false;
+        std::uint64_t openRow = 0;
+        Cycle readyAt = 0; ///< earliest next command
+    };
+
+    std::string name_;
+    DramParams params_;
+    std::vector<Bank> banks_;
+    Cycle busFreeAt_ = 0;
+
+    Counter *rowHits_;
+    Counter *rowMisses_;
+    Counter *rowClosed_;
+};
+
+} // namespace gpulat
+
+#endif // GPULAT_MEM_DRAM_HH

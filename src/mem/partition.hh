@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Memory partition: the per-slice backend of the global memory
+ * pipeline (GPGPU-Sim's "ROP -> L2 -> DRAM" path).
+ *
+ * Request flow per cycle (downstream-most first so a request moves
+ * at most one hop per cycle):
+ *
+ *   icnt ejект -> [ROP queue] -> [L2 queue] -> L2 tags
+ *        hit  -> [L2 hit pipe] ----------------------\
+ *        miss -> [L2 miss pipe] -> MSHR/[DRAM queue]  +-> [return
+ *   DRAM sched -> banks -> completion -> L2 fill ----/    queue]
+ *                                                          -> icnt
+ *
+ * Every hop stamps the request's LatencyTrace; those stamps are what
+ * Figure 1's breakdown is computed from.
+ */
+
+#ifndef GPULAT_MEM_PARTITION_HH
+#define GPULAT_MEM_PARTITION_HH
+
+#include <deque>
+#include <memory>
+#include <optional>
+
+#include "cache/cache.hh"
+#include "cache/mshr.hh"
+#include "common/queue.hh"
+#include "common/stats.hh"
+#include "mem/dram.hh"
+#include "mem/dram_sched.hh"
+#include "mem/request.hh"
+
+namespace gpulat {
+
+/** Everything a partition needs to know about itself. */
+struct PartitionParams
+{
+    std::uint32_t lineBytes = 128;
+
+    /** Number of partitions interleaving the address space (used to
+     *  derive dense slice-local addresses). */
+    unsigned interleaveDivisor = 1;
+
+    std::size_t ropQueueSize = 16;
+    Cycle ropLatency = 16;
+
+    bool l2Enabled = true;
+    CacheParams l2Cache;
+    std::size_t l2QueueSize = 16;
+    Cycle l2QueueLatency = 1;
+    Cycle l2HitLatency = 100;
+    /** Tag-check time before a miss is forwarded to DRAM. */
+    Cycle l2MissLatency = 20;
+    std::size_t l2MshrEntries = 32;
+    std::size_t l2MshrMaxMerge = 8;
+
+    std::size_t dramQueueSize = 32;
+    DramSchedPolicy sched = DramSchedPolicy::FRFCFS;
+    /** FR-FCFS anti-starvation age (cycles). */
+    Cycle dramStarvationLimit = 768;
+    DramParams dram;
+    /** Core cycles between DRAM scheduling decisions. */
+    Cycle dramCmdInterval = 2;
+
+    std::size_t returnQueueSize = 32;
+    Cycle returnQueueLatency = 1;
+};
+
+/**
+ * One memory partition (L2 slice + DRAM channel). The owning Gpu
+ * moves requests between the crossbars and the partition.
+ */
+class MemPartition
+{
+  public:
+    MemPartition(unsigned id, const PartitionParams &params,
+                 StatRegistry *stats);
+
+    /** True if the ROP queue can take a request this cycle. */
+    bool canAccept() const { return !ropQueue_.full(); }
+
+    /** Hand over a request ejected from the request network. */
+    void accept(Cycle now, MemRequest req);
+
+    /** Advance all internal pipelines by one cycle. */
+    void tick(Cycle now);
+
+    /** True if a read response is ready to enter the return network. */
+    bool responseReady(Cycle now) const
+    {
+        return returnQueue_.headReady(now);
+    }
+
+    /** SM the ready response routes back to. */
+    unsigned peekResponseSm() const { return returnQueue_.front().smId; }
+
+    /** Pop the ready response. */
+    MemRequest popResponse() { return returnQueue_.pop(); }
+
+    /** True when no request is anywhere inside the partition. */
+    bool drained() const;
+
+    Cache *l2() { return l2_.get(); }
+    DramChannel &dram() { return dram_; }
+    const PartitionParams &params() const { return params_; }
+
+  private:
+    void tickDramSchedule(Cycle now);
+    void tickL2MissPipe(Cycle now);
+    void tickL2HitPipe(Cycle now);
+    void tickL2Queue(Cycle now);
+    void tickRopQueue(Cycle now);
+
+    void respond(Cycle now, MemRequest req);
+    void pushDram(Cycle now, MemRequest req);
+
+    unsigned id_;
+    PartitionParams params_;
+    StatRegistry *stats_;
+
+    TimedQueue<MemRequest> ropQueue_;
+    TimedQueue<MemRequest> l2Queue_;
+    TimedQueue<MemRequest> l2HitPipe_;
+    TimedQueue<MemRequest> l2MissPipe_;
+    std::unique_ptr<Cache> l2_;
+    MshrTable<MemRequest> l2Mshr_;
+
+    /** Pending DRAM requests, arrival order (scheduler scans). */
+    std::deque<MemRequest> dramQueue_;
+    /** In-service DRAM requests; completion times non-decreasing. */
+    std::deque<std::pair<Cycle, MemRequest>> dramInService_;
+    DramChannel dram_;
+
+    TimedQueue<MemRequest> returnQueue_;
+
+    Counter *l2Accesses_;
+    Counter *dramReads_;
+    Counter *dramWrites_;
+    Counter *writebacks_;
+    ScalarStat *dramQueueWait_;
+};
+
+} // namespace gpulat
+
+#endif // GPULAT_MEM_PARTITION_HH

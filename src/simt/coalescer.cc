@@ -1,0 +1,56 @@
+#include "simt/coalescer.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace gpulat {
+
+std::vector<Transaction>
+coalesce(const std::array<Addr, kWarpSize> &addrs, LaneMask active,
+         std::uint32_t line_bytes)
+{
+    GPULAT_ASSERT(line_bytes > 0 && (line_bytes & (line_bytes - 1)) == 0,
+                  "line size must be a power of two");
+    std::vector<Transaction> txns;
+    for (unsigned lane = 0; lane < kWarpSize; ++lane) {
+        if (!(active >> lane & 1))
+            continue;
+        const Addr line = addrs[lane] & ~static_cast<Addr>(line_bytes - 1);
+        auto it = std::find_if(txns.begin(), txns.end(),
+                               [line](const Transaction &t) {
+                                   return t.lineAddr == line;
+                               });
+        if (it == txns.end())
+            txns.push_back(Transaction{line, 1u << lane});
+        else
+            it->lanes |= 1u << lane;
+    }
+    return txns;
+}
+
+unsigned
+bankConflictDegree(const std::array<Addr, kWarpSize> &addrs,
+                   LaneMask active, unsigned banks)
+{
+    GPULAT_ASSERT(banks > 0, "need at least one bank");
+    // For each bank, count distinct 8-byte word addresses.
+    unsigned worst = active ? 1 : 0;
+    for (unsigned b = 0; b < banks; ++b) {
+        std::vector<Addr> words;
+        for (unsigned lane = 0; lane < kWarpSize; ++lane) {
+            if (!(active >> lane & 1))
+                continue;
+            const Addr word = addrs[lane] / 8;
+            if (word % banks != b)
+                continue;
+            if (std::find(words.begin(), words.end(), word) ==
+                words.end())
+                words.push_back(word);
+        }
+        worst = std::max(worst, static_cast<unsigned>(words.size()));
+    }
+    return worst;
+}
+
+} // namespace gpulat

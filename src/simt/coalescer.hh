@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Memory access coalescer: collapses the per-lane addresses of one
+ * warp memory instruction into the minimal set of line transactions,
+ * exactly as GPU load/store units do since compute capability 2.x.
+ */
+
+#ifndef GPULAT_SIMT_COALESCER_HH
+#define GPULAT_SIMT_COALESCER_HH
+
+#include <array>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace gpulat {
+
+/** One coalesced line transaction. */
+struct Transaction
+{
+    Addr lineAddr;
+    LaneMask lanes; ///< lanes serviced by this transaction
+};
+
+/**
+ * Coalesce the active lanes' byte addresses into line transactions.
+ *
+ * Transactions are emitted in first-appearance (lane) order, which
+ * keeps the simulation deterministic.
+ *
+ * @param addrs per-lane byte addresses (only active lanes read).
+ * @param active lanes participating.
+ * @param line_bytes cache line size (power of two).
+ */
+std::vector<Transaction>
+coalesce(const std::array<Addr, kWarpSize> &addrs, LaneMask active,
+         std::uint32_t line_bytes);
+
+/**
+ * Shared-memory bank conflict degree: the maximum number of distinct
+ * word addresses mapping to the same bank (1 = conflict-free;
+ * broadcasts of the same address don't conflict).
+ *
+ * @param addrs per-lane byte addresses.
+ * @param active lanes participating.
+ * @param banks number of banks (word-interleaved, 8-byte words).
+ */
+unsigned
+bankConflictDegree(const std::array<Addr, kWarpSize> &addrs,
+                   LaneMask active, unsigned banks);
+
+} // namespace gpulat
+
+#endif // GPULAT_SIMT_COALESCER_HH

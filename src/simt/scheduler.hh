@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Warp schedulers: loose round-robin (LRR) and greedy-then-oldest
+ * (GTO). Each SM instantiates one scheduler object per issue slot;
+ * a scheduler owns the warp slots with slot % numSchedulers == id.
+ */
+
+#ifndef GPULAT_SIMT_SCHEDULER_HH
+#define GPULAT_SIMT_SCHEDULER_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace gpulat {
+
+/** Warp scheduling policies. */
+enum class SchedPolicy : std::uint8_t { LRR, GTO };
+
+const char *toString(SchedPolicy policy);
+
+/**
+ * Picks which of its warps issues next. The scheduler only orders
+ * candidates; the core supplies an `is_ready` oracle (scoreboard,
+ * barrier and resource checks).
+ */
+class WarpScheduler
+{
+  public:
+    /**
+     * @param policy LRR or GTO.
+     * @param warp_slots slot indices this scheduler owns.
+     */
+    WarpScheduler(SchedPolicy policy,
+                  std::vector<unsigned> warp_slots);
+
+    /**
+     * Choose a warp to issue.
+     *
+     * @param is_ready slot -> can issue right now.
+     * @param age slot -> dispatch sequence number (older = smaller).
+     * @return chosen slot, or -1 if none ready.
+     */
+    int pick(const std::function<bool(unsigned)> &is_ready,
+             const std::function<std::uint64_t(unsigned)> &age);
+
+    const std::vector<unsigned> &slots() const { return slots_; }
+
+  private:
+    SchedPolicy policy_;
+    std::vector<unsigned> slots_;
+    std::size_t rrNext_ = 0;  ///< LRR rotation index (into slots_)
+    int greedySlot_ = -1;     ///< GTO sticky warp
+};
+
+} // namespace gpulat
+
+#endif // GPULAT_SIMT_SCHEDULER_HH

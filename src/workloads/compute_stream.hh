@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Compute-augmented streaming workload: y[i] = iterate_K(x[i]) with
+ * a K-deep dependent FMA chain per element. The arithmetic gives
+ * each warp work that other warps' loads can hide behind — the
+ * cleanest demonstration of GPU latency hiding (and of its absence
+ * at low occupancy).
+ */
+
+#ifndef GPULAT_WORKLOADS_COMPUTE_STREAM_HH
+#define GPULAT_WORKLOADS_COMPUTE_STREAM_HH
+
+#include "workloads/workload.hh"
+
+namespace gpulat {
+
+class ComputeStream : public Workload
+{
+  public:
+    struct Options
+    {
+        std::uint64_t n = 1 << 15;
+        unsigned fmaDepth = 32; ///< dependent FMAs per element
+        unsigned threadsPerBlock = 256;
+        std::uint64_t seed = 8;
+    };
+
+    explicit ComputeStream(Options opts) : opts_(opts) {}
+
+    std::string name() const override { return "compute_stream"; }
+    WorkloadResult run(Gpu &gpu) override;
+
+    static Kernel buildKernel(unsigned fma_depth);
+
+  private:
+    Options opts_;
+};
+
+} // namespace gpulat
+
+#endif // GPULAT_WORKLOADS_COMPUTE_STREAM_HH

@@ -1,0 +1,107 @@
+#include "workloads/graph.hh"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/log.hh"
+#include "common/random.hh"
+
+namespace gpulat {
+
+namespace {
+
+CsrGraph
+fromEdgeList(std::uint64_t nodes,
+             std::vector<std::pair<std::uint64_t, std::uint64_t>> edges)
+{
+    std::sort(edges.begin(), edges.end());
+    edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+
+    CsrGraph g;
+    g.numNodes = nodes;
+    g.rowOffsets.assign(nodes + 1, 0);
+    for (const auto &[src, dst] : edges)
+        ++g.rowOffsets[src + 1];
+    for (std::uint64_t v = 0; v < nodes; ++v)
+        g.rowOffsets[v + 1] += g.rowOffsets[v];
+    g.columns.reserve(edges.size());
+    for (const auto &[src, dst] : edges)
+        g.columns.push_back(dst);
+    return g;
+}
+
+} // namespace
+
+CsrGraph
+makeUniformGraph(std::uint64_t nodes, unsigned degree,
+                 std::uint64_t seed)
+{
+    GPULAT_ASSERT(nodes > 1, "graph needs nodes");
+    Rng rng(seed);
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> edges;
+    edges.reserve(nodes * degree);
+    for (std::uint64_t v = 0; v < nodes; ++v) {
+        for (unsigned d = 0; d < degree; ++d) {
+            const std::uint64_t u = rng.below(nodes);
+            if (u != v)
+                edges.emplace_back(v, u);
+        }
+    }
+    return fromEdgeList(nodes, std::move(edges));
+}
+
+CsrGraph
+makeRmatGraph(unsigned scale, unsigned edge_factor, std::uint64_t seed)
+{
+    GPULAT_ASSERT(scale >= 2 && scale < 30, "unreasonable RMAT scale");
+    const std::uint64_t nodes = 1ull << scale;
+    const std::uint64_t num_edges = nodes * edge_factor;
+    Rng rng(seed);
+
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> edges;
+    edges.reserve(num_edges);
+    for (std::uint64_t e = 0; e < num_edges; ++e) {
+        std::uint64_t src = 0;
+        std::uint64_t dst = 0;
+        for (unsigned bit = 0; bit < scale; ++bit) {
+            const double r = rng.uniform();
+            // Quadrant probabilities a=0.57, b=0.19, c=0.19, d=0.05.
+            if (r < 0.57) {
+                // top-left: no bits set
+            } else if (r < 0.76) {
+                dst |= 1ull << bit;
+            } else if (r < 0.95) {
+                src |= 1ull << bit;
+            } else {
+                src |= 1ull << bit;
+                dst |= 1ull << bit;
+            }
+        }
+        if (src != dst)
+            edges.emplace_back(src, dst);
+    }
+    return fromEdgeList(nodes, std::move(edges));
+}
+
+std::vector<std::int64_t>
+cpuBfs(const CsrGraph &graph, std::uint64_t source)
+{
+    std::vector<std::int64_t> level(graph.numNodes, -1);
+    std::deque<std::uint64_t> frontier{source};
+    level[source] = 0;
+    while (!frontier.empty()) {
+        const std::uint64_t v = frontier.front();
+        frontier.pop_front();
+        for (std::uint64_t e = graph.rowOffsets[v];
+             e < graph.rowOffsets[v + 1]; ++e) {
+            const std::uint64_t u = graph.columns[e];
+            if (level[u] < 0) {
+                level[u] = level[v] + 1;
+                frontier.push_back(u);
+            }
+        }
+    }
+    return level;
+}
+
+} // namespace gpulat

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Synthetic graph generation (CSR) + CPU reference BFS.
+ *
+ * Substitutes for the paper's benchmark-suite BFS inputs: a uniform
+ * random graph and an RMAT power-law graph; both produce the
+ * scattered, data-dependent loads that make BFS latency-critical.
+ */
+
+#ifndef GPULAT_WORKLOADS_GRAPH_HH
+#define GPULAT_WORKLOADS_GRAPH_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace gpulat {
+
+/** Compressed-sparse-row directed graph. */
+struct CsrGraph
+{
+    std::uint64_t numNodes = 0;
+    /** rowOffsets[v] .. rowOffsets[v+1] index into columns. */
+    std::vector<std::uint64_t> rowOffsets;
+    std::vector<std::uint64_t> columns;
+
+    std::uint64_t numEdges() const { return columns.size(); }
+};
+
+/** Uniform random digraph: each node gets ~degree random targets. */
+CsrGraph makeUniformGraph(std::uint64_t nodes, unsigned degree,
+                          std::uint64_t seed);
+
+/**
+ * RMAT (Kronecker) power-law digraph, the standard skewed-degree
+ * generator (a=0.57 b=0.19 c=0.19).
+ *
+ * @param scale nodes = 2^scale.
+ * @param edge_factor edges = nodes * edge_factor.
+ */
+CsrGraph makeRmatGraph(unsigned scale, unsigned edge_factor,
+                       std::uint64_t seed);
+
+/**
+ * CPU reference BFS from @p source.
+ * @return per-node level; -1 (as uint64 max) for unreachable nodes.
+ */
+std::vector<std::int64_t> cpuBfs(const CsrGraph &graph,
+                                 std::uint64_t source);
+
+} // namespace gpulat
+
+#endif // GPULAT_WORKLOADS_GRAPH_HH

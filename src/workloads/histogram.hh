@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Histogram with global atomics: every thread atomically increments
+ * a bin counter. Exercises the L2 atomic RMW path and its
+ * serialization behaviour under bin contention (few bins = hot
+ * lines, many bins = spread).
+ */
+
+#ifndef GPULAT_WORKLOADS_HISTOGRAM_HH
+#define GPULAT_WORKLOADS_HISTOGRAM_HH
+
+#include "workloads/workload.hh"
+
+namespace gpulat {
+
+class AtomicHistogram : public Workload
+{
+  public:
+    struct Options
+    {
+        std::uint64_t n = 1 << 14;
+        /** Power of two. */
+        std::uint64_t bins = 256;
+        unsigned threadsPerBlock = 128;
+        std::uint64_t seed = 9;
+    };
+
+    explicit AtomicHistogram(Options opts) : opts_(opts) {}
+
+    std::string name() const override { return "histogram"; }
+    WorkloadResult run(Gpu &gpu) override;
+
+    static Kernel buildKernel();
+
+  private:
+    Options opts_;
+};
+
+} // namespace gpulat
+
+#endif // GPULAT_WORKLOADS_HISTOGRAM_HH

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Block-level tree reduction in shared memory with barriers: the
+ * shared-memory/synchronization workload. Each block reduces its
+ * chunk to a partial sum; the host adds the partials.
+ */
+
+#ifndef GPULAT_WORKLOADS_REDUCTION_HH
+#define GPULAT_WORKLOADS_REDUCTION_HH
+
+#include "workloads/workload.hh"
+
+namespace gpulat {
+
+class Reduction : public Workload
+{
+  public:
+    struct Options
+    {
+        std::uint64_t n = 1 << 16;
+        /** Must be a power of two (tree reduction). */
+        unsigned threadsPerBlock = 256;
+        std::uint64_t seed = 3;
+    };
+
+    explicit Reduction(Options opts) : opts_(opts) {}
+
+    std::string name() const override { return "reduction"; }
+    WorkloadResult run(Gpu &gpu) override;
+
+    static Kernel buildKernel(unsigned threads_per_block);
+
+  private:
+    Options opts_;
+};
+
+} // namespace gpulat
+
+#endif // GPULAT_WORKLOADS_REDUCTION_HH

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Exclusive prefix sum (scan): per-block Blelloch up/down-sweep in
+ * shared memory, then a host-combined pass that adds block offsets —
+ * a multi-launch, barrier-heavy workload with log-depth shared
+ * traffic.
+ */
+
+#ifndef GPULAT_WORKLOADS_SCAN_HH
+#define GPULAT_WORKLOADS_SCAN_HH
+
+#include "workloads/workload.hh"
+
+namespace gpulat {
+
+class Scan : public Workload
+{
+  public:
+    struct Options
+    {
+        std::uint64_t n = 1 << 14;
+        /** Elements per block; power of two, == threads per block. */
+        unsigned blockElems = 256;
+        std::uint64_t seed = 11;
+    };
+
+    explicit Scan(Options opts) : opts_(opts) {}
+
+    std::string name() const override { return "scan"; }
+    WorkloadResult run(Gpu &gpu) override;
+
+    /** Per-block exclusive scan kernel (also emits block sums). */
+    static Kernel buildScanKernel();
+    /** Adds the scanned block offsets to every element. */
+    static Kernel buildAddOffsetsKernel();
+
+  private:
+    Options opts_;
+};
+
+} // namespace gpulat
+
+#endif // GPULAT_WORKLOADS_SCAN_HH

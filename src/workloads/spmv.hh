@@ -1,0 +1,40 @@
+/**
+ * @file
+ * CSR sparse matrix-vector product y = A*x (doubles, scalar-row
+ * style): the irregular-gather workload — x is accessed through the
+ * column indices, giving data-dependent scattered loads like BFS
+ * but with FP compute attached.
+ */
+
+#ifndef GPULAT_WORKLOADS_SPMV_HH
+#define GPULAT_WORKLOADS_SPMV_HH
+
+#include "workloads/workload.hh"
+
+namespace gpulat {
+
+class SpMV : public Workload
+{
+  public:
+    struct Options
+    {
+        std::uint64_t rows = 1 << 13;
+        unsigned nnzPerRow = 16;
+        unsigned threadsPerBlock = 128;
+        std::uint64_t seed = 5;
+    };
+
+    explicit SpMV(Options opts) : opts_(opts) {}
+
+    std::string name() const override { return "spmv"; }
+    WorkloadResult run(Gpu &gpu) override;
+
+    static Kernel buildKernel();
+
+  private:
+    Options opts_;
+};
+
+} // namespace gpulat
+
+#endif // GPULAT_WORKLOADS_SPMV_HH

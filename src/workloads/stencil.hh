@@ -1,0 +1,39 @@
+/**
+ * @file
+ * 2-D 5-point Jacobi stencil (doubles): regular compute-plus-memory
+ * workload with reuse between neighboring threads. Grid mapping is
+ * y = blockIdx, x = threadIdx (one row per block).
+ */
+
+#ifndef GPULAT_WORKLOADS_STENCIL_HH
+#define GPULAT_WORKLOADS_STENCIL_HH
+
+#include "workloads/workload.hh"
+
+namespace gpulat {
+
+class Stencil2D : public Workload
+{
+  public:
+    struct Options
+    {
+        unsigned width = 256;  ///< threads per block (<= 1024)
+        unsigned height = 256; ///< blocks
+        unsigned iterations = 2;
+        std::uint64_t seed = 4;
+    };
+
+    explicit Stencil2D(Options opts) : opts_(opts) {}
+
+    std::string name() const override { return "stencil2d"; }
+    WorkloadResult run(Gpu &gpu) override;
+
+    static Kernel buildKernel();
+
+  private:
+    Options opts_;
+};
+
+} // namespace gpulat
+
+#endif // GPULAT_WORKLOADS_STENCIL_HH

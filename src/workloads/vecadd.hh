@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Streaming vector addition c = a + b (doubles): the perfectly
+ * coalesced, bandwidth-bound contrast workload to BFS. With enough
+ * warps in flight its latency is almost entirely hidden.
+ */
+
+#ifndef GPULAT_WORKLOADS_VECADD_HH
+#define GPULAT_WORKLOADS_VECADD_HH
+
+#include "workloads/workload.hh"
+
+namespace gpulat {
+
+class VecAdd : public Workload
+{
+  public:
+    struct Options
+    {
+        std::uint64_t n = 1 << 16;
+        unsigned threadsPerBlock = 256;
+        std::uint64_t seed = 2;
+    };
+
+    explicit VecAdd(Options opts) : opts_(opts) {}
+
+    std::string name() const override { return "vecadd"; }
+    WorkloadResult run(Gpu &gpu) override;
+
+    static Kernel buildKernel();
+
+  private:
+    Options opts_;
+};
+
+} // namespace gpulat
+
+#endif // GPULAT_WORKLOADS_VECADD_HH

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Common workload interface: every workload prepares device data,
+ * launches its kernel(s) on a caller-provided Gpu and verifies the
+ * result against a CPU reference.
+ */
+
+#ifndef GPULAT_WORKLOADS_WORKLOAD_HH
+#define GPULAT_WORKLOADS_WORKLOAD_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gpu/gpu.hh"
+
+namespace gpulat {
+
+/** Outcome of one workload run. */
+struct WorkloadResult
+{
+    bool correct = false;   ///< matched the CPU reference
+    Cycle cycles = 0;       ///< total simulated cycles
+    std::uint64_t instructions = 0;
+    unsigned launches = 0;  ///< kernel launches performed
+};
+
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    /** Short identifier ("bfs", "vecadd", ...). */
+    virtual std::string name() const = 0;
+
+    /** Run to completion on @p gpu and verify. */
+    virtual WorkloadResult run(Gpu &gpu) = 0;
+};
+
+/**
+ * Construct the default-sized instance of every workload (used by
+ * the multi-workload benches). @p scale in [0,1] shrinks inputs for
+ * quick test runs (1.0 = bench-sized).
+ */
+std::vector<std::unique_ptr<Workload>> makeAllWorkloads(double scale);
+
+} // namespace gpulat
+
+#endif // GPULAT_WORKLOADS_WORKLOAD_HH

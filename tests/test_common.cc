@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Unit tests for the common infrastructure: timed queues, stats,
+ * RNG determinism and table/chart rendering.
+ */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/queue.hh"
+#include "common/random.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+
+namespace gpulat {
+namespace {
+
+TEST(TimedQueue, RespectsMinLatency)
+{
+    TimedQueue<int> q(4, 10);
+    EXPECT_TRUE(q.push(100, 7));
+    EXPECT_FALSE(q.headReady(100));
+    EXPECT_FALSE(q.headReady(109));
+    EXPECT_TRUE(q.headReady(110));
+    EXPECT_EQ(q.pop(), 7);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(TimedQueue, ZeroLatencyIsImmediatelyReady)
+{
+    TimedQueue<int> q(2, 0);
+    ASSERT_TRUE(q.push(5, 1));
+    EXPECT_TRUE(q.headReady(5));
+}
+
+TEST(TimedQueue, EnforcesCapacity)
+{
+    TimedQueue<int> q(2, 1);
+    EXPECT_TRUE(q.push(0, 1));
+    EXPECT_TRUE(q.push(0, 2));
+    EXPECT_TRUE(q.full());
+    EXPECT_FALSE(q.push(0, 3));
+    EXPECT_EQ(q.size(), 2u);
+}
+
+TEST(TimedQueue, FifoOrder)
+{
+    TimedQueue<int> q(8, 1);
+    for (int i = 0; i < 8; ++i)
+        ASSERT_TRUE(q.push(0, i));
+    for (int i = 0; i < 8; ++i) {
+        ASSERT_TRUE(q.headReady(1));
+        EXPECT_EQ(q.pop(), i);
+    }
+}
+
+TEST(TimedQueue, HeadReadyAtReportsCycle)
+{
+    TimedQueue<int> q(2, 25);
+    EXPECT_EQ(q.headReadyAt(), kNoCycle);
+    q.push(100, 1);
+    EXPECT_EQ(q.headReadyAt(), 125u);
+}
+
+TEST(TimedQueue, OccupancyStats)
+{
+    TimedQueue<int> q(4, 1);
+    q.push(0, 1);
+    q.push(0, 2);
+    EXPECT_EQ(q.maxOccupancy(), 2u);
+    EXPECT_DOUBLE_EQ(q.meanOccupancy(), 1.5);
+}
+
+TEST(TimedQueue, LaterPushesKeepOrderEvenWhenReadyEarlier)
+{
+    // FIFO: the head blocks younger entries even if they were
+    // pushed with lower latency... (same latency per queue, so the
+    // ready times are monotonic by construction).
+    TimedQueue<int> q(4, 5);
+    q.push(0, 1);
+    q.push(3, 2);
+    EXPECT_TRUE(q.headReady(5));
+    EXPECT_EQ(q.pop(), 1);
+    EXPECT_FALSE(q.headReady(6));
+    EXPECT_TRUE(q.headReady(8));
+}
+
+TEST(Counter, IncrementAndReset)
+{
+    Counter c;
+    c.inc();
+    c.inc(41);
+    EXPECT_EQ(c.value(), 42u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(ScalarStat, TracksMoments)
+{
+    ScalarStat s;
+    s.sample(1.0);
+    s.sample(3.0);
+    s.sample(2.0);
+    EXPECT_EQ(s.count(), 3u);
+    EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 3.0);
+}
+
+TEST(Histogram, BucketsLinearly)
+{
+    Histogram h(0.0, 100.0, 10);
+    h.sample(5.0);
+    h.sample(15.0);
+    h.sample(15.5);
+    h.sample(99.9);
+    h.sample(1000.0); // clamps to last bucket
+    EXPECT_EQ(h.bucketCount(0), 1u);
+    EXPECT_EQ(h.bucketCount(1), 2u);
+    EXPECT_EQ(h.bucketCount(9), 2u);
+    EXPECT_DOUBLE_EQ(h.bucketLo(1), 10.0);
+    EXPECT_DOUBLE_EQ(h.bucketHi(1), 20.0);
+}
+
+TEST(StatRegistry, NamedCountersAreSingletons)
+{
+    StatRegistry reg;
+    reg.counter("a.b").inc(3);
+    reg.counter("a.b").inc(4);
+    EXPECT_EQ(reg.counterValue("a.b"), 7u);
+    EXPECT_EQ(reg.counterValue("missing"), 0u);
+}
+
+TEST(StatRegistry, DumpContainsAllNames)
+{
+    StatRegistry reg;
+    reg.counter("x.count").inc();
+    reg.scalar("y.wait").sample(2.0);
+    std::ostringstream oss;
+    reg.dump(oss);
+    EXPECT_NE(oss.str().find("x.count"), std::string::npos);
+    EXPECT_NE(oss.str().find("y.wait"), std::string::npos);
+}
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.below(13), 13u);
+}
+
+TEST(Rng, UniformIsInUnitInterval)
+{
+    Rng rng(9);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1);
+    Rng b(2);
+    EXPECT_NE(a.next(), b.next());
+}
+
+TEST(TextTable, AlignsAndCountsRows)
+{
+    TextTable t({"col", "value"});
+    t.addRow({"x", "1"});
+    t.addRow({"longer", "2"});
+    EXPECT_EQ(t.rows(), 2u);
+    std::ostringstream oss;
+    t.print(oss);
+    EXPECT_NE(oss.str().find("longer"), std::string::npos);
+}
+
+TEST(TextTable, CsvQuotesCommas)
+{
+    TextTable t({"a"});
+    t.addRow({"x,y"});
+    std::ostringstream oss;
+    t.printCsv(oss);
+    EXPECT_NE(oss.str().find("\"x,y\""), std::string::npos);
+}
+
+TEST(StackedBarChart, RendersLegendAndBars)
+{
+    StackedBarChart chart({"alpha", "beta"}, 20);
+    chart.addBar("0-10", {75.0, 25.0});
+    std::ostringstream oss;
+    chart.print(oss);
+    EXPECT_NE(oss.str().find("alpha"), std::string::npos);
+    EXPECT_NE(oss.str().find("0-10"), std::string::npos);
+}
+
+TEST(Log, PanicAndFatalThrowDistinctTypes)
+{
+    EXPECT_THROW(panic("boom"), PanicError);
+    EXPECT_THROW(fatal("bad input"), FatalError);
+}
+
+TEST(Log, AssertMacroFiresOnFalse)
+{
+    EXPECT_THROW(GPULAT_ASSERT(false, "nope"), PanicError);
+    EXPECT_NO_THROW(GPULAT_ASSERT(true, "fine"));
+}
+
+} // namespace
+} // namespace gpulat

@@ -1,0 +1,368 @@
+/**
+ * @file
+ * End-to-end GPU tests: kernels run to completion with correct
+ * functional results and sane timing behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gpu/gpu.hh"
+#include "isa/assembler.hh"
+
+namespace gpulat {
+namespace {
+
+/** Small config so tests are fast but still multi-SM/partition. */
+GpuConfig
+testConfig()
+{
+    GpuConfig cfg = makeGF106();
+    cfg.numSms = 2;
+    cfg.numPartitions = 2;
+    cfg.deviceMemBytes = 16 * 1024 * 1024;
+    return cfg;
+}
+
+TEST(Gpu, StoreConstantKernel)
+{
+    Gpu gpu(testConfig());
+    const Kernel k = assemble(R"(
+        s2r r0, tid
+        s2r r1, ctaid
+        s2r r2, ntid
+        imad r0, r1, r2, r0
+        shl r3, r0, 3
+        mov r4, param0
+        iadd r4, r4, r3
+        mov r5, 12345
+        st.global [r4], r5
+        exit
+    )");
+    const std::uint64_t n = 256;
+    const Addr buf = gpu.alloc(n * 8);
+    gpu.launch(k, 2, 128, {buf});
+    for (std::uint64_t i = 0; i < n; ++i) {
+        std::uint64_t v = 0;
+        gpu.copyFromDevice(&v, buf + i * 8, 8);
+        EXPECT_EQ(v, 12345u) << "thread " << i;
+    }
+}
+
+TEST(Gpu, SpecialRegistersAreCorrect)
+{
+    Gpu gpu(testConfig());
+    // out[gid*4 .. +3] = {tid, ctaid, ntid, nctaid}
+    const Kernel k = assemble(R"(
+        s2r r0, tid
+        s2r r1, ctaid
+        s2r r2, ntid
+        s2r r3, nctaid
+        imad r4, r1, r2, r0
+        shl r5, r4, 5         ; gid * 32 bytes
+        mov r6, param0
+        iadd r6, r6, r5
+        st.global [r6], r0
+        st.global [r6+8], r1
+        st.global [r6+16], r2
+        st.global [r6+24], r3
+        exit
+    )");
+    const unsigned blocks = 3;
+    const unsigned tpb = 64;
+    const Addr buf = gpu.alloc(blocks * tpb * 32);
+    gpu.launch(k, blocks, tpb, {buf});
+    for (unsigned b = 0; b < blocks; ++b) {
+        for (unsigned t = 0; t < tpb; ++t) {
+            std::uint64_t vals[4];
+            gpu.copyFromDevice(vals, buf + (b * tpb + t) * 32, 32);
+            EXPECT_EQ(vals[0], t);
+            EXPECT_EQ(vals[1], b);
+            EXPECT_EQ(vals[2], tpb);
+            EXPECT_EQ(vals[3], blocks);
+        }
+    }
+}
+
+TEST(Gpu, DivergentKernelComputesBothPaths)
+{
+    Gpu gpu(testConfig());
+    // Even threads write 2*i, odd threads write 3*i.
+    const Kernel k = assemble(R"(
+        s2r r0, tid
+        and r1, r0, 1
+        setp.eq p0, r1, 0
+        mov r2, param0
+        shl r3, r0, 3
+        iadd r2, r2, r3
+        @p0 bra even_path
+        imul r4, r0, 3
+        bra join
+        even_path:
+        imul r4, r0, 2
+        join:
+        st.global [r2], r4
+        exit
+    )");
+    const Addr buf = gpu.alloc(32 * 8);
+    gpu.launch(k, 1, 32, {buf});
+    for (std::uint64_t i = 0; i < 32; ++i) {
+        std::uint64_t v = 0;
+        gpu.copyFromDevice(&v, buf + i * 8, 8);
+        EXPECT_EQ(v, i % 2 == 0 ? 2 * i : 3 * i) << "lane " << i;
+    }
+}
+
+TEST(Gpu, DataDependentLoopTripCounts)
+{
+    Gpu gpu(testConfig());
+    // Each thread loops tid times accumulating 1.
+    const Kernel k = assemble(R"(
+        s2r r0, tid
+        mov r1, 0
+        mov r2, 0
+        loop:
+        setp.ge p0, r2, r0
+        @p0 bra out
+        iadd r1, r1, 1
+        iadd r2, r2, 1
+        bra loop
+        out:
+        mov r3, param0
+        shl r4, r0, 3
+        iadd r3, r3, r4
+        st.global [r3], r1
+        exit
+    )");
+    const Addr buf = gpu.alloc(32 * 8);
+    gpu.launch(k, 1, 32, {buf});
+    for (std::uint64_t i = 0; i < 32; ++i) {
+        std::uint64_t v = 0;
+        gpu.copyFromDevice(&v, buf + i * 8, 8);
+        EXPECT_EQ(v, i) << "lane " << i;
+    }
+}
+
+TEST(Gpu, SharedMemoryBarrierExchange)
+{
+    Gpu gpu(testConfig());
+    // Thread t writes t to shared, reads neighbor (t+1)%ntid.
+    const Kernel k = assemble(R"(
+        .shared 1024
+        s2r r0, tid
+        s2r r2, ntid
+        shl r1, r0, 3
+        st.shared [r1], r0
+        bar
+        iadd r3, r0, 1
+        setp.ge p0, r3, r2
+        @p0 mov r3, 0
+        shl r4, r3, 3
+        ld.shared r5, [r4]
+        mov r6, param0
+        iadd r6, r6, r1
+        st.global [r6], r5
+        exit
+    )");
+    const unsigned tpb = 128; // 4 warps: real barrier needed
+    const Addr buf = gpu.alloc(tpb * 8);
+    gpu.launch(k, 1, tpb, {buf});
+    for (std::uint64_t i = 0; i < tpb; ++i) {
+        std::uint64_t v = 0;
+        gpu.copyFromDevice(&v, buf + i * 8, 8);
+        EXPECT_EQ(v, (i + 1) % tpb) << "lane " << i;
+    }
+}
+
+TEST(Gpu, LocalMemoryIsPerThread)
+{
+    GpuConfig cfg = testConfig();
+    cfg.localBytesPerThread = 256;
+    Gpu gpu(cfg);
+    // Each thread stores tid*7 to local[8] and reads it back.
+    const Kernel k = assemble(R"(
+        s2r r0, tid
+        s2r r1, ctaid
+        s2r r2, ntid
+        imad r0, r1, r2, r0
+        imul r3, r0, 7
+        mov r4, 8
+        st.local [r4], r3
+        ld.local r5, [r4]
+        mov r6, param0
+        shl r7, r0, 3
+        iadd r6, r6, r7
+        st.global [r6], r5
+        exit
+    )");
+    const unsigned total = 128;
+    const Addr buf = gpu.alloc(total * 8);
+    gpu.launch(k, 2, 64, {buf});
+    for (std::uint64_t i = 0; i < total; ++i) {
+        std::uint64_t v = 0;
+        gpu.copyFromDevice(&v, buf + i * 8, 8);
+        EXPECT_EQ(v, i * 7) << "thread " << i;
+    }
+}
+
+TEST(Gpu, FloatingPointOps)
+{
+    Gpu gpu(testConfig());
+    const Kernel k = assemble(R"(
+        mov r1, param0
+        ld.global r2, [r1]      ; a
+        ld.global r3, [r1+8]    ; b
+        fadd r4, r2, r3
+        fmul r5, r2, r3
+        ffma r6, r2, r3, r4
+        st.global [r1+16], r4
+        st.global [r1+24], r5
+        st.global [r1+32], r6
+        exit
+    )");
+    const Addr buf = gpu.alloc(64);
+    const double a = 1.5;
+    const double b = -2.25;
+    gpu.copyToDevice(buf, &a, 8);
+    gpu.copyToDevice(buf + 8, &b, 8);
+    gpu.launch(k, 1, 1, {buf});
+    double add = 0;
+    double mul = 0;
+    double fma = 0;
+    gpu.copyFromDevice(&add, buf + 16, 8);
+    gpu.copyFromDevice(&mul, buf + 24, 8);
+    gpu.copyFromDevice(&fma, buf + 32, 8);
+    EXPECT_DOUBLE_EQ(add, a + b);
+    EXPECT_DOUBLE_EQ(mul, a * b);
+    EXPECT_DOUBLE_EQ(fma, a * b + (a + b));
+}
+
+TEST(Gpu, ClockAdvancesMonotonically)
+{
+    Gpu gpu(testConfig());
+    const Kernel k = assemble(R"(
+        clock r1
+        mov r2, param0
+        ld.global r3, [r2]
+        clock r4, r3
+        isub r5, r4, r1
+        st.global [r2+8], r5
+        exit
+    )");
+    const Addr buf = gpu.alloc(16);
+    gpu.launch(k, 1, 1, {buf});
+    std::uint64_t delta = 0;
+    gpu.copyFromDevice(&delta, buf + 8, 8);
+    // A dependent load must take at least the L1 path latency.
+    EXPECT_GT(delta, 10u);
+    EXPECT_LT(delta, 10000u);
+}
+
+TEST(Gpu, MoreBlocksThanSmSlotsDrainInWaves)
+{
+    Gpu gpu(testConfig());
+    const Kernel k = assemble(R"(
+        s2r r0, ctaid
+        shl r1, r0, 3
+        mov r2, param0
+        iadd r2, r2, r1
+        mov r3, 1
+        st.global [r2], r3
+        exit
+    )");
+    const unsigned blocks = 64; // >> resident capacity
+    const Addr buf = gpu.alloc(blocks * 8);
+    gpu.launch(k, blocks, 32, {buf});
+    for (unsigned b = 0; b < blocks; ++b) {
+        std::uint64_t v = 0;
+        gpu.copyFromDevice(&v, buf + b * 8, 8);
+        EXPECT_EQ(v, 1u) << "block " << b;
+    }
+}
+
+TEST(Gpu, BackToBackLaunchesShareState)
+{
+    Gpu gpu(testConfig());
+    const Kernel incr = assemble(R"(
+        mov r1, param0
+        ld.global r2, [r1]
+        iadd r2, r2, 1
+        st.global [r1], r2
+        exit
+    )");
+    const Addr buf = gpu.alloc(8);
+    for (int i = 0; i < 5; ++i)
+        gpu.launch(incr, 1, 1, {buf});
+    std::uint64_t v = 0;
+    gpu.copyFromDevice(&v, buf, 8);
+    EXPECT_EQ(v, 5u);
+}
+
+TEST(Gpu, RejectsOversizedBlock)
+{
+    Gpu gpu(testConfig());
+    const Kernel k = assemble("exit\n");
+    EXPECT_THROW(gpu.launch(k, 1, 1 << 20, {}), FatalError);
+}
+
+TEST(Gpu, RejectsEmptyGrid)
+{
+    Gpu gpu(testConfig());
+    const Kernel k = assemble("exit\n");
+    EXPECT_THROW(gpu.launch(k, 0, 32, {}), FatalError);
+}
+
+TEST(Gpu, PartialWarpAndPartialBlock)
+{
+    Gpu gpu(testConfig());
+    const Kernel k = assemble(R"(
+        s2r r0, tid
+        s2r r1, ctaid
+        s2r r2, ntid
+        imad r0, r1, r2, r0
+        mov r3, param1
+        setp.ge p0, r0, r3
+        @p0 bra done
+        mov r4, param0
+        shl r5, r0, 3
+        iadd r4, r4, r5
+        mov r6, 7
+        st.global [r4], r6
+        done:
+        exit
+    )");
+    const std::uint64_t n = 50; // 1 block of 50 threads: 2 warps
+    const Addr buf = gpu.alloc(64 * 8);
+    gpu.launch(k, 1, 50, {buf, n});
+    for (std::uint64_t i = 0; i < n; ++i) {
+        std::uint64_t v = 0;
+        gpu.copyFromDevice(&v, buf + i * 8, 8);
+        EXPECT_EQ(v, 7u) << i;
+    }
+}
+
+TEST(Gpu, DeterministicAcrossRuns)
+{
+    auto run = [] {
+        Gpu gpu(testConfig());
+        const Kernel k = assemble(R"(
+            s2r r0, tid
+            s2r r1, ctaid
+            s2r r2, ntid
+            imad r0, r1, r2, r0
+            shl r3, r0, 3
+            mov r4, param0
+            iadd r4, r4, r3
+            ld.global r5, [r4]
+            iadd r5, r5, 1
+            st.global [r4], r5
+            exit
+        )");
+        const Addr buf = gpu.alloc(1024 * 8);
+        const LaunchResult lr = gpu.launch(k, 8, 128, {buf});
+        return lr.cycles;
+    };
+    EXPECT_EQ(run(), run());
+}
+
+} // namespace
+} // namespace gpulat

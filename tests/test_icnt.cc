@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Unit tests for the crossbar interconnect: latency, backpressure,
+ * round-robin arbitration fairness and drain behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "icnt/crossbar.hh"
+
+namespace gpulat {
+namespace {
+
+struct Pkt
+{
+    int id;
+};
+
+TEST(Crossbar, DeliversAfterFixedLatency)
+{
+    StatRegistry stats;
+    Crossbar<Pkt> xbar("x", 2, 2, 10, 4, 4, &stats);
+    ASSERT_TRUE(xbar.inject(0, 0, 1, Pkt{7}));
+    for (Cycle c = 0; c < 10; ++c) {
+        xbar.tick(c);
+        EXPECT_FALSE(xbar.deliverable(1, c)) << "cycle " << c;
+    }
+    xbar.tick(10);
+    ASSERT_TRUE(xbar.deliverable(1, 10));
+    EXPECT_EQ(xbar.eject(1).id, 7);
+    EXPECT_TRUE(xbar.empty());
+}
+
+TEST(Crossbar, InputQueueBackpressure)
+{
+    StatRegistry stats;
+    Crossbar<Pkt> xbar("x", 1, 1, 1, 2, 2, &stats);
+    EXPECT_TRUE(xbar.canInject(0));
+    EXPECT_TRUE(xbar.inject(0, 0, 0, Pkt{1}));
+    EXPECT_TRUE(xbar.inject(0, 0, 0, Pkt{2}));
+    EXPECT_FALSE(xbar.canInject(0));
+    EXPECT_FALSE(xbar.inject(0, 0, 0, Pkt{3}));
+}
+
+TEST(Crossbar, OnePacketPerDestinationPerCycle)
+{
+    StatRegistry stats;
+    Crossbar<Pkt> xbar("x", 2, 1, 0, 4, 4, &stats);
+    ASSERT_TRUE(xbar.inject(0, 0, 0, Pkt{1}));
+    ASSERT_TRUE(xbar.inject(0, 1, 0, Pkt{2}));
+    xbar.tick(0);
+    ASSERT_TRUE(xbar.deliverable(0, 0));
+    xbar.eject(0);
+    // Second packet needs a second cycle.
+    EXPECT_FALSE(xbar.deliverable(0, 0));
+    xbar.tick(1);
+    EXPECT_TRUE(xbar.deliverable(0, 1));
+}
+
+TEST(Crossbar, RoundRobinAlternatesContendingSources)
+{
+    StatRegistry stats;
+    Crossbar<Pkt> xbar("x", 2, 1, 0, 8, 8, &stats);
+    // Both sources keep 2 packets queued for dst 0.
+    ASSERT_TRUE(xbar.inject(0, 0, 0, Pkt{10}));
+    ASSERT_TRUE(xbar.inject(0, 0, 0, Pkt{11}));
+    ASSERT_TRUE(xbar.inject(0, 1, 0, Pkt{20}));
+    ASSERT_TRUE(xbar.inject(0, 1, 0, Pkt{21}));
+
+    std::vector<int> order;
+    for (Cycle c = 0; c < 4; ++c) {
+        xbar.tick(c);
+        ASSERT_TRUE(xbar.deliverable(0, c));
+        order.push_back(xbar.eject(0).id);
+    }
+    // RR: src0, src1, src0, src1 (starting pointer at 0).
+    EXPECT_EQ(order, (std::vector<int>{10, 20, 11, 21}));
+}
+
+TEST(Crossbar, ArbitrationLossesAreCounted)
+{
+    StatRegistry stats;
+    Crossbar<Pkt> xbar("x", 2, 1, 0, 4, 4, &stats);
+    xbar.inject(0, 0, 0, Pkt{1});
+    xbar.inject(0, 1, 0, Pkt{2});
+    xbar.tick(0);
+    EXPECT_EQ(stats.counterValue("x.arb_stalls"), 1u);
+}
+
+TEST(Crossbar, OutputBackpressureStallsTransfer)
+{
+    StatRegistry stats;
+    Crossbar<Pkt> xbar("x", 1, 1, 0, 4, 1, &stats);
+    xbar.inject(0, 0, 0, Pkt{1});
+    xbar.inject(0, 0, 0, Pkt{2});
+    xbar.tick(0); // moves pkt 1 into the single-entry output
+    xbar.tick(1); // output full: pkt 2 must wait
+    ASSERT_TRUE(xbar.deliverable(0, 1));
+    EXPECT_EQ(xbar.eject(0).id, 1);
+    xbar.tick(2);
+    ASSERT_TRUE(xbar.deliverable(0, 2));
+    EXPECT_EQ(xbar.eject(0).id, 2);
+}
+
+TEST(Crossbar, IndependentDestinationsTransferInParallel)
+{
+    StatRegistry stats;
+    Crossbar<Pkt> xbar("x", 2, 2, 0, 4, 4, &stats);
+    xbar.inject(0, 0, 0, Pkt{1});
+    xbar.inject(0, 1, 1, Pkt{2});
+    xbar.tick(0);
+    EXPECT_TRUE(xbar.deliverable(0, 0));
+    EXPECT_TRUE(xbar.deliverable(1, 0));
+}
+
+TEST(Crossbar, SourcePopsAtMostOncePerCycle)
+{
+    StatRegistry stats;
+    // One source with packets for two different destinations: only
+    // the head may move in a given cycle.
+    Crossbar<Pkt> xbar("x", 1, 2, 0, 4, 4, &stats);
+    xbar.inject(0, 0, 0, Pkt{1});
+    xbar.inject(0, 0, 1, Pkt{2});
+    xbar.tick(0);
+    EXPECT_TRUE(xbar.deliverable(0, 0));
+    EXPECT_FALSE(xbar.deliverable(1, 0));
+    xbar.tick(1);
+    EXPECT_TRUE(xbar.deliverable(1, 1));
+}
+
+/** Property: random traffic is conserved and per-source order to
+ *  each destination is preserved, across crossbar shapes. */
+class CrossbarShapes
+    : public ::testing::TestWithParam<std::pair<unsigned, unsigned>>
+{
+};
+
+TEST_P(CrossbarShapes, ConservesAndOrdersRandomTraffic)
+{
+    const unsigned nsrc = GetParam().first;
+    const unsigned ndst = GetParam().second;
+    StatRegistry stats;
+    Crossbar<Pkt> xbar("x", nsrc, ndst, 3, 4, 4, &stats);
+
+    Rng rng(nsrc * 100 + ndst);
+    // id encodes (src, dst, seq) so order can be checked on eject.
+    std::vector<unsigned> sent_per_pair(nsrc * ndst, 0);
+    std::vector<unsigned> seen_per_pair(nsrc * ndst, 0);
+    int sent = 0;
+    int received = 0;
+    const int target = 300;
+
+    for (Cycle now = 0; now < 20000 && received < target; ++now) {
+        if (sent < target) {
+            const auto src = static_cast<unsigned>(rng.below(nsrc));
+            const auto dst = static_cast<unsigned>(rng.below(ndst));
+            if (xbar.canInject(src)) {
+                const unsigned pair = src * ndst + dst;
+                const int id = static_cast<int>(
+                    pair * 100000 + sent_per_pair[pair]);
+                ASSERT_TRUE(xbar.inject(now, src, dst, Pkt{id}));
+                ++sent_per_pair[pair];
+                ++sent;
+            }
+        }
+        xbar.tick(now);
+        for (unsigned d = 0; d < ndst; ++d) {
+            if (!xbar.deliverable(d, now))
+                continue;
+            const Pkt pkt = xbar.eject(d);
+            const unsigned pair =
+                static_cast<unsigned>(pkt.id) / 100000;
+            const unsigned seq =
+                static_cast<unsigned>(pkt.id) % 100000;
+            // Packets from one src to one dst arrive in order.
+            ASSERT_EQ(seq, seen_per_pair[pair]);
+            ++seen_per_pair[pair];
+            ASSERT_EQ(pair % ndst, d) << "misrouted packet";
+            ++received;
+        }
+    }
+    EXPECT_EQ(received, sent);
+    EXPECT_TRUE(xbar.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, CrossbarShapes,
+    ::testing::Values(std::pair<unsigned, unsigned>{1, 1},
+                      std::pair<unsigned, unsigned>{2, 6},
+                      std::pair<unsigned, unsigned>{6, 2},
+                      std::pair<unsigned, unsigned>{15, 6},
+                      std::pair<unsigned, unsigned>{6, 15}));
+
+TEST(Crossbar, ClearDrainsEverything)
+{
+    StatRegistry stats;
+    Crossbar<Pkt> xbar("x", 1, 1, 5, 4, 4, &stats);
+    xbar.inject(0, 0, 0, Pkt{1});
+    EXPECT_FALSE(xbar.empty());
+    xbar.clear();
+    EXPECT_TRUE(xbar.empty());
+}
+
+} // namespace
+} // namespace gpulat
