@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Clock-domain ablation: sweep the DRAM and interconnect clock
+ * ratios (relative to the core clock) and decompose the resulting
+ * memory latency into pipeline stages, in the spirit of the paper's
+ * Figure 1 — adding the clock-ratio dimension the single-clock
+ * simulator could not express.
+ *
+ * Three experiments:
+ *   1. DRAM-clock sweep under load (BFS): per-stage latency
+ *      breakdown vs DRAM frequency.
+ *   2. ICNT-clock sweep under load (BFS).
+ *   3. Idle pointer-chase latency vs DRAM clock (Table-I style),
+ *      plus the wall-clock effect of the engine's idle
+ *      fast-forward on this latency-bound microbench.
+ */
+
+#include <chrono>
+#include <iomanip>
+#include <iostream>
+#include <vector>
+
+#include "gpu/gpu.hh"
+#include "latency/breakdown.hh"
+#include "microbench/pchase.hh"
+#include "workloads/bfs.hh"
+
+using namespace gpulat;
+
+namespace {
+
+GpuConfig
+baseConfig()
+{
+    GpuConfig cfg = makeGF106();
+    cfg.numSms = 4;
+    cfg.numPartitions = 2;
+    cfg.deviceMemBytes = 64 * 1024 * 1024;
+    return cfg;
+}
+
+struct SweepPoint
+{
+    const char *label;
+    ClockRatio ratio;
+};
+
+const std::vector<SweepPoint> kDramSweep{
+    {"2:1", {2, 1}}, {"1:1", {1, 1}}, {"2:3", {2, 3}},
+    {"1:2", {1, 2}}, {"1:3", {1, 3}},
+};
+
+const std::vector<SweepPoint> kIcntSweep{
+    {"2:1", {2, 1}}, {"1:1", {1, 1}}, {"1:2", {1, 2}},
+};
+
+double
+wallMs(const std::chrono::steady_clock::time_point &t0)
+{
+    using ms = std::chrono::duration<double, std::milli>;
+    return ms(std::chrono::steady_clock::now() - t0).count();
+}
+
+void
+printHeader()
+{
+    std::cout << std::setw(6) << "ratio" << std::setw(12) << "cycles"
+              << std::setw(9) << "mean";
+    for (std::size_t s = 0; s < kNumStages; ++s)
+        std::cout << std::setw(9) << toString(static_cast<Stage>(s));
+    std::cout << "\n";
+}
+
+void
+printPoint(const char *label, Cycle cycles, const Breakdown &bd)
+{
+    std::uint64_t total = 0;
+    for (auto v : bd.totalByStage)
+        total += v;
+    const double mean = bd.requests
+        ? static_cast<double>(total) / static_cast<double>(bd.requests)
+        : 0.0;
+    std::cout << std::setw(6) << label << std::setw(12) << cycles
+              << std::setw(9) << std::fixed << std::setprecision(1)
+              << mean;
+    for (auto v : bd.totalByStage) {
+        const double pct = total
+            ? 100.0 * static_cast<double>(v) /
+                  static_cast<double>(total)
+            : 0.0;
+        std::cout << std::setw(8) << std::setprecision(1) << pct
+                  << "%";
+    }
+    std::cout << "\n";
+}
+
+void
+sweepUnderLoad(const char *what,
+               const std::vector<SweepPoint> &sweep,
+               ClockRatio GpuConfig::*knob)
+{
+    std::cout << "\n== " << what
+              << "-clock sweep under load (BFS, RMAT scale 12) ==\n"
+              << "stage columns: % of aggregate fetch latency\n";
+    printHeader();
+    for (const SweepPoint &pt : sweep) {
+        GpuConfig cfg = baseConfig();
+        cfg.*knob = pt.ratio;
+        Gpu gpu(cfg);
+
+        Bfs::Options opts;
+        opts.kind = Bfs::GraphKind::Rmat;
+        opts.scale = 12;
+        opts.degree = 8;
+        Bfs bfs(opts);
+        const WorkloadResult result = bfs.run(gpu);
+        if (!result.correct) {
+            std::cout << pt.label << ": FUNCTIONAL MISMATCH\n";
+            continue;
+        }
+        const Breakdown bd =
+            computeBreakdown(gpu.latencies().traces(), 32);
+        printPoint(pt.label, result.cycles, bd);
+    }
+}
+
+void
+idleLatencySweep()
+{
+    std::cout << "\n== idle DRAM latency vs DRAM clock "
+                 "(pointer chase, Table-I style) ==\n";
+    std::cout << std::setw(6) << "ratio" << std::setw(16)
+              << "cycles/access" << "\n";
+    for (const SweepPoint &pt : kDramSweep) {
+        GpuConfig cfg = baseConfig();
+        cfg.dramClock = pt.ratio;
+        Gpu gpu(cfg);
+        PChaseConfig pc;
+        pc.footprintBytes = 4 * 1024 * 1024; // DRAM-resident
+        pc.strideBytes = 512;
+        pc.timedAccesses = 256;
+        const PChaseResult r = runPointerChase(gpu, pc);
+        std::cout << std::setw(6) << pt.label << std::setw(16)
+                  << std::fixed << std::setprecision(1)
+                  << r.cyclesPerAccess << "\n";
+    }
+}
+
+void
+fastForwardEffect()
+{
+    std::cout << "\n== idle fast-forward on a latency-bound "
+                 "microbench (single-warp DRAM chase) ==\n";
+    std::cout << std::setw(16) << "mode" << std::setw(12) << "wall ms"
+              << std::setw(14) << "loop steps" << std::setw(14)
+              << "skipped cyc" << std::setw(12) << "cycles"
+              << "\n";
+
+    Cycle cycles_on = 0;
+    Cycle cycles_off = 0;
+    for (const bool ff : {true, false}) {
+        GpuConfig cfg = baseConfig();
+        cfg.idleFastForward = ff;
+        Gpu gpu(cfg);
+        PChaseConfig pc;
+        pc.footprintBytes = 4 * 1024 * 1024;
+        pc.strideBytes = 512;
+        pc.timedAccesses = 2048;
+        const auto t0 = std::chrono::steady_clock::now();
+        runPointerChase(gpu, pc);
+        const double ms = wallMs(t0);
+        (ff ? cycles_on : cycles_off) = gpu.now();
+        std::cout << std::setw(16)
+                  << (ff ? "fast-forward" : "naive")
+                  << std::setw(12) << std::fixed
+                  << std::setprecision(1) << ms << std::setw(14)
+                  << gpu.engine().steps() << std::setw(14)
+                  << gpu.engine().skippedCycles() << std::setw(12)
+                  << gpu.now() << "\n";
+    }
+    std::cout << (cycles_on == cycles_off
+                      ? "simulated cycles identical: OK\n"
+                      : "simulated cycles DIFFER: BUG\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "Clock-domain ablation on " << baseConfig().name
+              << " (core : icnt : L2 : DRAM, default 1:1:1:1)\n";
+
+    sweepUnderLoad("DRAM", kDramSweep, &GpuConfig::dramClock);
+    sweepUnderLoad("ICNT", kIcntSweep, &GpuConfig::icntClock);
+    idleLatencySweep();
+    fastForwardEffect();
+    return 0;
+}

@@ -12,6 +12,22 @@ StatRegistry::counterValue(const std::string &name) const
 }
 
 void
+StatRegistry::markEpoch()
+{
+    epoch_.clear();
+    for (const auto &[name, c] : counters_)
+        epoch_[name] = c.value();
+}
+
+std::uint64_t
+StatRegistry::counterSinceEpoch(const std::string &name) const
+{
+    const std::uint64_t value = counterValue(name);
+    auto it = epoch_.find(name);
+    return it == epoch_.end() ? value : value - it->second;
+}
+
+void
 StatRegistry::dump(std::ostream &os) const
 {
     std::size_t width = 0;
@@ -38,6 +54,7 @@ StatRegistry::reset()
         c.reset();
     for (auto &[name, s] : scalars_)
         s.reset();
+    epoch_.clear();
 }
 
 } // namespace gpulat

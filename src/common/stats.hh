@@ -136,6 +136,18 @@ class StatRegistry
     /** Value of a counter, 0 if absent. */
     std::uint64_t counterValue(const std::string &name) const;
 
+    /**
+     * Snapshot every counter, starting a new experiment epoch.
+     * Counters themselves keep accumulating (they are monotonic);
+     * counterSinceEpoch() reads the delta, so back-to-back
+     * experiments in one process can be compared without leaking
+     * each other's totals.
+     */
+    void markEpoch();
+
+    /** Counter delta since the last markEpoch() (0 if absent). */
+    std::uint64_t counterSinceEpoch(const std::string &name) const;
+
     /** Render all statistics as aligned text. */
     void dump(std::ostream &os) const;
 
@@ -145,6 +157,7 @@ class StatRegistry
   private:
     std::map<std::string, Counter> counters_;
     std::map<std::string, ScalarStat> scalars_;
+    std::map<std::string, std::uint64_t> epoch_;
 };
 
 } // namespace gpulat

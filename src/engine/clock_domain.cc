@@ -1,0 +1,79 @@
+#include "engine/clock_domain.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace gpulat {
+
+namespace {
+
+using Wide = unsigned __int128;
+
+} // namespace
+
+ClockDomain::ClockDomain(std::string name, ClockRatio ratio)
+    : name_(std::move(name)), ratio_(ratio)
+{
+    GPULAT_ASSERT(ratio_.mul > 0 && ratio_.div > 0,
+                  "clock ratio must be positive");
+}
+
+Cycle
+ClockDomain::tickCycle(Cycle k, ClockRatio ratio)
+{
+    return static_cast<Cycle>(
+        (Wide{k} * ratio.div + ratio.mul - 1) / ratio.mul);
+}
+
+Cycle
+ClockDomain::ticksThrough(Cycle c, ClockRatio ratio)
+{
+    // Tick k lands on ceil(k * div / mul), so ticks with
+    // k * div <= c * mul have happened by the end of cycle c:
+    // floor(c * mul / div) of them with k >= 1, plus tick 0.
+    return static_cast<Cycle>(Wide{c} * ratio.mul / ratio.div) + 1;
+}
+
+Cycle
+ClockDomain::firstTickAtOrAfter(Cycle e, ClockRatio ratio)
+{
+    // ceil(k * div / mul) >= e  <=>  k * div > (e - 1) * mul
+    //                           <=>  k > (e - 1) * mul / div.
+    if (e == 0)
+        return 0;
+    return static_cast<Cycle>(
+        Wide{e - 1} * ratio.mul / ratio.div) + 1;
+}
+
+Cycle
+ClockDomain::ticksThrough(Cycle c) const
+{
+    return ticksThrough(c, ratio_);
+}
+
+unsigned
+ClockDomain::dueTicks(Cycle c) const
+{
+    const Cycle through = ticksThrough(c);
+    GPULAT_ASSERT(through >= ticks_, "domain ticked past schedule");
+    return static_cast<unsigned>(through - ticks_);
+}
+
+void
+ClockDomain::skipTo(Cycle c)
+{
+    GPULAT_ASSERT(c > 0, "cannot skip to cycle 0");
+    ticks_ = std::max(ticks_, ticksThrough(c - 1));
+}
+
+Cycle
+ClockDomain::nextTickAtOrAfter(Cycle e) const
+{
+    // Smallest unperformed tick index whose time is >= e.
+    const Cycle k =
+        std::max(firstTickAtOrAfter(e, ratio_), ticks_);
+    return tickCycle(k, ratio_);
+}
+
+} // namespace gpulat

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * A clock domain: schedules component ticks onto the global
+ * core-cycle axis at a rational frequency ratio.
+ *
+ * Domain tick k (k = 0, 1, 2, ...) lands on core cycle
+ * ceil(k * div / mul), so a {1,1} domain ticks every core cycle
+ * starting at 0, a {1,2} domain ticks on even cycles, and a {2,1}
+ * domain ticks twice per core cycle. All arithmetic is exact
+ * integer math, which keeps multi-rate interleaving deterministic
+ * and reproducible across runs and platforms.
+ */
+
+#ifndef GPULAT_ENGINE_CLOCK_DOMAIN_HH
+#define GPULAT_ENGINE_CLOCK_DOMAIN_HH
+
+#include <string>
+
+#include "engine/clocked.hh"
+
+namespace gpulat {
+
+class ClockDomain
+{
+  public:
+    ClockDomain(std::string name, ClockRatio ratio);
+
+    const std::string &name() const { return name_; }
+    ClockRatio ratio() const { return ratio_; }
+
+    /** @name Tick-grid arithmetic (shared with domain-aware models)
+     * @{ */
+
+    /** Core cycle tick @p k (k = 0, 1, ...) of @p ratio lands on. */
+    static Cycle tickCycle(Cycle k, ClockRatio ratio);
+
+    /** Ticks of @p ratio scheduled through the end of cycle @p c. */
+    static Cycle ticksThrough(Cycle c, ClockRatio ratio);
+
+    /** Index of the first tick of @p ratio landing at or after @p e. */
+    static Cycle firstTickAtOrAfter(Cycle e, ClockRatio ratio);
+
+    /** @} */
+
+    /** Total ticks scheduled through the end of core cycle @p c. */
+    Cycle ticksThrough(Cycle c) const;
+
+    /** Ticks this domain owes at core cycle @p c (0 if not due). */
+    unsigned dueTicks(Cycle c) const;
+
+    /** Mark @p n scheduled ticks as performed. */
+    void retire(unsigned n) { ticks_ += n; }
+
+    /**
+     * Jump over the dead window ending at core cycle @p c: all
+     * ticks scheduled before @p c are retired unperformed (the
+     * engine guaranteed they were no-ops).
+     */
+    void skipTo(Cycle c);
+
+    /** First core cycle >= @p e on which this domain ticks. */
+    Cycle nextTickAtOrAfter(Cycle e) const;
+
+    /** Domain-local cycle count (ticks performed so far). */
+    Cycle localCycles() const { return ticks_; }
+
+  private:
+    std::string name_;
+    ClockRatio ratio_;
+    Cycle ticks_ = 0;
+};
+
+} // namespace gpulat
+
+#endif // GPULAT_ENGINE_CLOCK_DOMAIN_HH

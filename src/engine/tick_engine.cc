@@ -1,0 +1,81 @@
+#include "engine/tick_engine.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace gpulat {
+
+ClockDomain &
+TickEngine::addDomain(std::string name, ClockRatio ratio)
+{
+    domains_.push_back(
+        std::make_unique<ClockDomain>(std::move(name), ratio));
+    due_.push_back(0);
+    return *domains_.back();
+}
+
+void
+TickEngine::add(ClockDomain &domain, Clocked &component)
+{
+    std::size_t idx = domains_.size();
+    for (std::size_t d = 0; d < domains_.size(); ++d)
+        if (domains_[d].get() == &domain)
+            idx = d;
+    GPULAT_ASSERT(idx < domains_.size(),
+                  "domain not owned by this engine");
+    for (const auto &reg : order_)
+        GPULAT_ASSERT(reg.component != &component,
+                      "component registered twice");
+    order_.push_back(Registration{&domain, idx, &component});
+}
+
+void
+TickEngine::step()
+{
+    for (std::size_t d = 0; d < domains_.size(); ++d)
+        due_[d] = domains_[d]->dueTicks(now_);
+
+    for (const auto &reg : order_) {
+        const unsigned n = due_[reg.domainIdx];
+        for (unsigned i = 0; i < n; ++i)
+            reg.component->tick(now_);
+    }
+
+    for (std::size_t d = 0; d < domains_.size(); ++d)
+        domains_[d]->retire(due_[d]);
+
+    ++now_;
+    ++steps_;
+}
+
+Cycle
+TickEngine::fastForward()
+{
+    Cycle target = kNoCycle;
+    for (const auto &reg : order_) {
+        Cycle event = reg.component->nextEventAt(now_);
+        if (event == kNoCycle)
+            continue;
+        event = std::max(event, now_);
+        target = std::min(target,
+                          reg.domain->nextTickAtOrAfter(event));
+        if (target <= now_)
+            return 0; // something is active right now
+    }
+    if (target == kNoCycle || target <= now_)
+        return 0;
+
+    for (const auto &reg : order_)
+        reg.component->fastForward(now_, target);
+    for (const auto &domain : domains_)
+        domain->skipTo(target);
+
+    const Cycle skipped = target - now_;
+    now_ = target;
+    skippedCycles_ += skipped;
+    ++ffWindows_;
+    return skipped;
+}
+
+} // namespace gpulat

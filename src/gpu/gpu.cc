@@ -1,23 +1,93 @@
 #include "gpu/gpu.hh"
 
 #include <algorithm>
+#include <sstream>
 
 #include "common/log.hh"
 
 namespace gpulat {
 
+namespace {
+
+void
+validateRatio(const char *what, ClockRatio ratio)
+{
+    if (ratio.mul == 0 || ratio.div == 0)
+        fatal(what, " clock ratio must be positive (got ", ratio.mul,
+              ":", ratio.div, ")");
+    if (ratio.mul > 64 || ratio.div > 64)
+        fatal(what, " clock ratio ", ratio.mul, ":", ratio.div,
+              " out of the supported [1/64, 64] range");
+}
+
+/**
+ * Convert a latency configured in domain cycles to core cycles: a
+ * domain at mul/div of the core frequency stretches each of its
+ * cycles by div/mul core cycles (identity at 1:1, so calibrated
+ * configs are untouched). Rounded up — hardware can't act on a
+ * fraction of an edge.
+ */
+Cycle
+toCoreCycles(Cycle domain_cycles, ClockRatio ratio)
+{
+    // A latency of n domain cycles spans the same core cycles as n
+    // ticks of that domain's grid.
+    return ClockDomain::tickCycle(domain_cycles, ratio);
+}
+
+/**
+ * Validate the clock ratios before anything derives values from
+ * them — runs on the config as the very first member initializer,
+ * ahead of the toCoreCycles() uses in the init list.
+ */
+GpuConfig
+validatedConfig(GpuConfig config)
+{
+    validateRatio("icnt", config.icntClock);
+    validateRatio("l2", config.l2Clock);
+    validateRatio("dram", config.dramClock);
+    return config;
+}
+
+/** Scale every L2/ROP-domain latency of a partition config. */
+void
+scalePartitionLatencies(PartitionParams &p, ClockRatio l2,
+                        ClockRatio dram)
+{
+    p.ropLatency = toCoreCycles(p.ropLatency, l2);
+    p.l2QueueLatency = toCoreCycles(p.l2QueueLatency, l2);
+    p.l2HitLatency = toCoreCycles(p.l2HitLatency, l2);
+    p.l2MissLatency = toCoreCycles(p.l2MissLatency, l2);
+    p.returnQueueLatency = toCoreCycles(p.returnQueueLatency, l2);
+
+    p.dram.timing.tRCD = toCoreCycles(p.dram.timing.tRCD, dram);
+    p.dram.timing.tRP = toCoreCycles(p.dram.timing.tRP, dram);
+    p.dram.timing.tCAS = toCoreCycles(p.dram.timing.tCAS, dram);
+    p.dram.timing.tBurst = toCoreCycles(p.dram.timing.tBurst, dram);
+    p.dram.timing.tExtra = toCoreCycles(p.dram.timing.tExtra, dram);
+}
+
+} // namespace
+
 Gpu::Gpu(GpuConfig config)
-    : config_(std::move(config)),
+    : config_(validatedConfig(std::move(config))),
       dmem_(config_.deviceMemBytes),
       reqNet_("icnt.req", config_.numSms, config_.numPartitions,
-              config_.icntLatency, config_.icntInQueue,
-              config_.icntOutQueue, &stats_),
+              toCoreCycles(config_.icntLatency, config_.icntClock),
+              config_.icntInQueue, config_.icntOutQueue, &stats_),
       respNet_("icnt.resp", config_.numPartitions, config_.numSms,
-               config_.icntLatency, config_.icntInQueue,
-               config_.icntOutQueue, &stats_)
+               toCoreCycles(config_.icntLatency, config_.icntClock),
+               config_.icntInQueue, config_.icntOutQueue, &stats_),
+      reqEject_(reqNet_, partitions_),
+      respInject_(partitions_, respNet_),
+      respEject_(respNet_, sms_),
+      dispatcher_(sms_)
 {
     PartitionParams part_params = config_.partition;
     part_params.interleaveDivisor = config_.numPartitions;
+    part_params.dramClock = config_.dramClock;
+    scalePartitionLatencies(part_params, config_.l2Clock,
+                            config_.dramClock);
     for (unsigned p = 0; p < config_.numPartitions; ++p) {
         partitions_.push_back(std::make_unique<MemPartition>(
             p, part_params, &stats_));
@@ -33,6 +103,33 @@ Gpu::Gpu(GpuConfig config)
             sm, &dmem_, &stats_, &latCollector_, &expCollector_,
             &reqNet_, partition_of, &nextReqId_));
     }
+
+    // Wire the engine. Registration order is intra-cycle tick order
+    // and replays the pre-engine hand-written orchestration exactly
+    // at unity ratios: networks move first (this cycle's ejections
+    // are last cycle's traversals), then requests sink toward DRAM,
+    // responses rise back, SMs consume them, and new blocks land.
+    ClockDomain &core = engine_.addDomain("core", ClockRatio{1, 1});
+    ClockDomain &icnt = engine_.addDomain("icnt", config_.icntClock);
+    ClockDomain &l2 = engine_.addDomain("l2", config_.l2Clock);
+    ClockDomain &dram = engine_.addDomain("dram", config_.dramClock);
+
+    engine_.add(icnt, reqNet_);
+    engine_.add(icnt, respNet_);
+    engine_.add(l2, reqEject_);
+    for (auto &part : partitions_) {
+        partMemSides_.push_back(
+            std::make_unique<PartitionMemSide>(*part));
+        partL2Sides_.push_back(
+            std::make_unique<PartitionL2Side>(*part));
+        engine_.add(dram, *partMemSides_.back());
+        engine_.add(l2, *partL2Sides_.back());
+    }
+    engine_.add(icnt, respInject_);
+    engine_.add(core, respEject_);
+    for (auto &sm : sms_)
+        engine_.add(core, *sm);
+    engine_.add(core, dispatcher_);
 }
 
 Addr
@@ -56,14 +153,25 @@ Gpu::copyFromDevice(void *dst, Addr src, std::uint64_t bytes) const
 void
 Gpu::invalidateCaches()
 {
-    for (auto &sm : sms_)
+    for (auto &sm : sms_) {
+        GPULAT_ASSERT(!sm->busy() && sm->drained(),
+                      "experiment reset while SM busy");
         sm->invalidateL1();
+    }
+    GPULAT_ASSERT(reqNet_.empty() && respNet_.empty(),
+                  "experiment reset while packets in the icnt");
     for (auto &part : partitions_) {
         GPULAT_ASSERT(part->drained(),
                       "cache invalidate while requests in flight");
         if (part->l2())
             part->l2()->invalidateAll();
+        // Open rows and bus-busy state would hand the next
+        // experiment's first accesses stale row hits.
+        part->dram().reset();
     }
+    latCollector_.clear();
+    expCollector_.clear();
+    stats_.markEpoch();
 }
 
 bool
@@ -83,68 +191,42 @@ Gpu::allDrained() const
 std::uint64_t
 Gpu::activitySignature() const
 {
-    std::uint64_t sig = nextReqId_ + nextBlock_;
+    // Any packet movement or instruction progress perturbs this;
+    // equality across a long window means a genuine stall.
+    std::uint64_t sig = nextReqId_ + dispatcher_.nextBlock();
     for (unsigned s = 0; s < config_.numSms; ++s) {
-        sig += stats_.counterValue("sm" + std::to_string(s) +
-                                   ".issued");
-        sig += stats_.counterValue("sm" + std::to_string(s) +
-                                   ".loads_completed");
+        const std::string prefix = "sm" + std::to_string(s);
+        sig += stats_.counterValue(prefix + ".issued");
+        sig += stats_.counterValue(prefix + ".loads_completed");
     }
+    for (unsigned p = 0; p < config_.numPartitions; ++p) {
+        const std::string prefix = "part" + std::to_string(p);
+        sig += stats_.counterValue(prefix + ".l2_accesses");
+        sig += stats_.counterValue(prefix + ".dram_reads");
+        sig += stats_.counterValue(prefix + ".dram_writes");
+    }
+    sig += stats_.counterValue("icnt.req.transferred");
+    sig += stats_.counterValue("icnt.resp.transferred");
     return sig;
 }
 
-void
-Gpu::tick()
+std::string
+Gpu::stallReport(const std::string &kernel_name) const
 {
-    // Interconnect moves first so this cycle's ejections are last
-    // cycle's traversals.
-    reqNet_.tick(cycle_);
-    respNet_.tick(cycle_);
-
-    // Requests leaving the network enter their partition's ROP queue.
-    for (unsigned p = 0; p < config_.numPartitions; ++p) {
-        if (reqNet_.deliverable(p, cycle_) &&
-            partitions_[p]->canAccept()) {
-            partitions_[p]->accept(cycle_, reqNet_.eject(p));
-        }
-    }
-
-    for (auto &part : partitions_)
-        part->tick(cycle_);
-
-    // Responses enter the return network (one per partition/cycle).
-    for (unsigned p = 0; p < config_.numPartitions; ++p) {
-        if (!partitions_[p]->responseReady(cycle_))
-            continue;
-        const unsigned dst = partitions_[p]->peekResponseSm();
-        if (!respNet_.canInject(p))
-            continue;
-        MemRequest resp = partitions_[p]->popResponse();
-        const bool ok = respNet_.inject(cycle_, p, dst,
-                                        std::move(resp));
-        GPULAT_ASSERT(ok, "response inject after canInject");
-    }
-
-    // Responses leaving the return network write back at their SM.
-    for (unsigned s = 0; s < config_.numSms; ++s) {
-        if (respNet_.deliverable(s, cycle_))
-            sms_[s]->acceptResponse(cycle_, respNet_.eject(s));
-    }
-
-    for (auto &sm : sms_)
-        sm->tick(cycle_);
-
-    // Block dispatch: one block per SM per cycle, round-robin.
-    for (unsigned k = 0;
-         k < config_.numSms && nextBlock_ < ctx_.numBlocks; ++k) {
-        const unsigned s = (dispatchRr_ + k) % config_.numSms;
-        if (sms_[s]->canAcceptBlock()) {
-            sms_[s]->dispatchBlock(nextBlock_++);
-        }
-    }
-    dispatchRr_ = (dispatchRr_ + 1) % config_.numSms;
-
-    ++cycle_;
+    std::ostringstream oss;
+    oss << "no forward progress at cycle " << engine_.now()
+        << " (kernel '" << kernel_name << "', dispatched "
+        << dispatcher_.nextBlock() << "/" << dispatcher_.numBlocks()
+        << " blocks)\n";
+    oss << "  icnt: req=" << reqNet_.inFlight()
+        << " resp=" << respNet_.inFlight() << " in flight\n";
+    for (const auto &sm : sms_)
+        oss << "  " << sm->occupancySummary()
+            << (sm->drained() ? "" : " [not drained]") << "\n";
+    for (const auto &part : partitions_)
+        oss << "  " << part->occupancySummary()
+            << (part->drained() ? "" : " [not drained]") << "\n";
+    return oss.str();
 }
 
 LaunchResult
@@ -206,11 +288,11 @@ Gpu::launch(const Kernel &kernel, unsigned num_blocks,
         ctx_.localBase = localBase_;
     }
 
-    nextBlock_ = 0;
+    dispatcher_.beginGrid(num_blocks);
     for (auto &sm : sms_)
         sm->startLaunch(&ctx_);
 
-    const Cycle start = cycle_;
+    const Cycle start = engine_.now();
     const std::uint64_t instr_before =
         [&] {
             std::uint64_t sum = 0;
@@ -220,30 +302,32 @@ Gpu::launch(const Kernel &kernel, unsigned num_blocks,
             return sum;
         }();
 
+    // Watchdog: iteration-based (fast-forward makes the cycle count
+    // jump), with a descriptive per-layer report on a genuine stall.
     std::uint64_t last_sig = activitySignature();
-    Cycle last_progress = cycle_;
+    std::uint64_t iters = 0;
+    std::uint64_t last_progress_iter = 0;
 
-    while (nextBlock_ < num_blocks || !allDrained()) {
-        tick();
+    while (!dispatcher_.allDispatched() || !allDrained()) {
+        engine_.step();
+        if (config_.idleFastForward)
+            engine_.fastForward();
 
-        // Watchdog: a whole-pipeline stall for this long is a bug.
-        if ((cycle_ & 0x3fff) == 0) {
+        if ((++iters & 0x3fffu) == 0) {
             const std::uint64_t sig = activitySignature();
             if (sig != last_sig) {
                 last_sig = sig;
-                last_progress = cycle_;
-            } else if (cycle_ - last_progress > 2'000'000) {
-                panic("no forward progress since cycle ",
-                      last_progress, " (kernel '", kernel.name,
-                      "', block ", nextBlock_, "/", num_blocks, ")");
+                last_progress_iter = iters;
+            } else if (iters - last_progress_iter > 2'000'000) {
+                panic(stallReport(kernel.name));
             }
         }
     }
 
     LaunchResult result;
     result.startCycle = start;
-    result.endCycle = cycle_;
-    result.cycles = cycle_ - start;
+    result.endCycle = engine_.now();
+    result.cycles = engine_.now() - start;
     std::uint64_t instr_after = 0;
     for (unsigned s = 0; s < config_.numSms; ++s)
         instr_after += stats_.counterValue(

@@ -1,19 +1,35 @@
 /**
  * @file
  * Top-level GPU device: owns the SMs, interconnect and memory
- * partitions, dispatches thread blocks and runs the clock loop.
- * This is the public entry point of the library — host code
- * allocates device memory, copies data, launches kernels and reads
- * the collectors/statistics afterwards.
+ * partitions, and drives them through a TickEngine with four clock
+ * domains (core, icnt, L2, DRAM). Host code allocates device
+ * memory, copies data, launches kernels and reads the
+ * collectors/statistics afterwards.
+ *
+ * Component layering (registration order = intra-cycle tick order):
+ *
+ *   icnt : reqNet, respNet
+ *   l2   : reqNet -> ROP ports, partition L2 sides
+ *   dram : partition DRAM sides
+ *   icnt : partition -> respNet port
+ *   core : respNet -> SM port, SMs, block dispatcher
+ *
+ * At the default 1:1:1:1 ratios this replays the original
+ * hand-ordered tick() bit-for-bit; non-unity ratios slow or speed
+ * whole domains, and the engine fast-forwards windows where every
+ * component reports idle (e.g. the post-grid drain tail).
  */
 
 #ifndef GPULAT_GPU_GPU_HH
 #define GPULAT_GPU_GPU_HH
 
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "engine/tick_engine.hh"
 #include "gpu/gpu_config.hh"
+#include "gpu/ports.hh"
 #include "icnt/crossbar.hh"
 #include "isa/kernel.hh"
 #include "latency/collector.hh"
@@ -60,20 +76,29 @@ class Gpu
     StatRegistry &stats() { return stats_; }
     LatencyCollector &latencies() { return latCollector_; }
     ExposureCollector &exposure() { return expCollector_; }
+    /** Engine introspection (fast-forward effectiveness, domains). */
+    const TickEngine &engine() const { return engine_; }
     /** @} */
 
-    Cycle now() const { return cycle_; }
+    Cycle now() const { return engine_.now(); }
     const GpuConfig &config() const { return config_; }
     SmCore &sm(unsigned i) { return *sms_[i]; }
     MemPartition &partition(unsigned i) { return *partitions_[i]; }
 
-    /** Invalidate all L1s and L2s (between experiments). */
+    /**
+     * Reset experiment-visible device state between back-to-back
+     * experiments in one process: invalidate all L1s/L2s, drop DRAM
+     * open-row/bus state, clear the latency and exposure
+     * collectors, and mark a new stat epoch (read per-experiment
+     * counters via StatRegistry::counterSinceEpoch()). Requires all
+     * pipelines drained; launch() guarantees that on return.
+     */
     void invalidateCaches();
 
   private:
-    void tick();
     bool allDrained() const;
     std::uint64_t activitySignature() const;
+    std::string stallReport(const std::string &kernel_name) const;
 
     GpuConfig config_;
     StatRegistry stats_;
@@ -86,11 +111,18 @@ class Gpu
     std::vector<std::unique_ptr<MemPartition>> partitions_;
     std::vector<std::unique_ptr<SmCore>> sms_;
 
-    Cycle cycle_ = 0;
+    /** @name Engine wiring @{ */
+    TickEngine engine_;
+    NetToPartitionPort reqEject_;
+    PartitionToNetPort respInject_;
+    NetToSmPort respEject_;
+    BlockDispatcher dispatcher_;
+    std::vector<std::unique_ptr<PartitionMemSide>> partMemSides_;
+    std::vector<std::unique_ptr<PartitionL2Side>> partL2Sides_;
+    /** @} */
+
     std::uint64_t nextReqId_ = 0;
     LaunchContext ctx_;
-    unsigned nextBlock_ = 0;
-    unsigned dispatchRr_ = 0;
 
     /** Local-memory backing store, reused across launches with the
      *  same shape so successive kernels see the same local data. */

@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <string>
 
+#include "engine/clocked.hh"
 #include "mem/partition.hh"
 #include "simt/core.hh"
 
@@ -26,6 +27,33 @@ struct GpuConfig
 
     unsigned numSms = 1;
     unsigned numPartitions = 2;
+
+    /**
+     * @name Clock domains
+     * Frequency of each domain relative to the core ("hot") clock.
+     * The defaults (1:1:1:1) reproduce the single-clock simulator
+     * bit-for-bit. A domain's fixed latencies (icntLatency, the
+     * partition's ROP/L2 latencies, the DRAM timing parameters) are
+     * counts of *its own* cycles — numerically equal to core cycles
+     * at the calibrated 1:1 defaults — so dramClock = {1, 2} both
+     * halves the DRAM side's tick cadence and doubles its service
+     * latencies as seen from the core, exactly like underclocking
+     * the memory of a real part. (dramCmdInterval is counted in
+     * DRAM-domain ticks, so it rides the same scaling.)
+     * @{
+     */
+    ClockRatio icntClock{1, 1};
+    ClockRatio l2Clock{1, 1};
+    ClockRatio dramClock{1, 1};
+    /** @} */
+
+    /**
+     * Skip windows where every component is provably idle (the
+     * drain tail of a launch). Cycle-exact by construction; the
+     * knob exists so tests/benches can compare against naive
+     * ticking.
+     */
+    bool idleFastForward = true;
 
     /** Per-SM template (smId overwritten per instance). */
     SmParams sm;

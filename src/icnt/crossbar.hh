@@ -14,17 +14,19 @@
 #ifndef GPULAT_ICNT_CROSSBAR_HH
 #define GPULAT_ICNT_CROSSBAR_HH
 
+#include <algorithm>
 #include <vector>
 
 #include "common/log.hh"
 #include "common/queue.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
+#include "engine/clocked.hh"
 
 namespace gpulat {
 
 template <typename T>
-class Crossbar
+class Crossbar : public Clocked
 {
   public:
     /**
@@ -88,7 +90,7 @@ class Crossbar
      * sources whose head packet targets that destination.
      */
     void
-    tick(Cycle now)
+    tick(Cycle now) override
     {
         const unsigned nsrc = numSrc();
         for (unsigned d = 0; d < numDst(); ++d) {
@@ -119,6 +121,43 @@ class Crossbar
         }
         for (auto &in : inputs_)
             in.poppedThisCycle = false;
+    }
+
+    /**
+     * Earliest cycle an input-queue head becomes movable — the only
+     * work tick() itself performs (output drain belongs to the
+     * ejecting port, see nextDeliveryAt()).
+     */
+    Cycle
+    nextEventAt(Cycle now) const override
+    {
+        (void)now;
+        Cycle e = kNoCycle;
+        for (const auto &in : inputs_)
+            e = std::min(e, in.queue.headReadyAt());
+        return e;
+    }
+
+    /** Earliest cycle any output head becomes deliverable. */
+    Cycle
+    nextDeliveryAt() const
+    {
+        Cycle e = kNoCycle;
+        for (const auto &out : outputs_)
+            e = std::min(e, out.headReadyAt());
+        return e;
+    }
+
+    /** Packets anywhere inside the crossbar (for stall reports). */
+    std::size_t
+    inFlight() const
+    {
+        std::size_t n = 0;
+        for (const auto &in : inputs_)
+            n += in.queue.size();
+        for (const auto &out : outputs_)
+            n += out.size();
+        return n;
     }
 
     /** True if @p dst has a deliverable packet. */

@@ -1,6 +1,10 @@
 #include "mem/partition.hh"
 
+#include <algorithm>
+#include <sstream>
+
 #include "common/log.hh"
+#include "engine/clock_domain.hh"
 
 namespace gpulat {
 
@@ -64,8 +68,6 @@ MemPartition::pushDram(Cycle now, MemRequest req)
 void
 MemPartition::tickDramSchedule(Cycle now)
 {
-    if (now % params_.dramCmdInterval != 0)
-        return;
     auto pick = pickDramRequest(params_.sched, dramQueue_, dram_, now,
                                 params_.dramStarvationLimit);
     if (!pick)
@@ -199,9 +201,15 @@ MemPartition::tickRopQueue(Cycle now)
 }
 
 void
-MemPartition::tick(Cycle now)
+MemPartition::tickMemSide(Cycle now)
 {
-    // Downstream-most first: one hop per request per cycle.
+    // Scheduling-decision cadence, counted in DRAM-domain ticks so
+    // it rides the dramClock scaling like every other DRAM timing
+    // (identical to the old now-modulo gate at 1:1, where the tick
+    // index equals the core cycle).
+    const bool sched_due =
+        memTicks_ % params_.dramCmdInterval == 0;
+    ++memTicks_;
 
     // 1. DRAM completions -> L2 fill + responses.
     while (!dramInService_.empty() &&
@@ -264,14 +272,70 @@ MemPartition::tick(Cycle now)
     }
 
     // 2. DRAM scheduling decision.
-    tickDramSchedule(now);
+    if (sched_due)
+        tickDramSchedule(now);
+}
 
-    // 3..6. L2 pipes and front queues.
+void
+MemPartition::skipMemSide(Cycle from, Cycle to)
+{
+    GPULAT_ASSERT(from > 0 && to > from, "bad skip window");
+    // Every DRAM-side tick in the dead window was a no-op, but it
+    // still counts toward the scheduling cadence.
+    memTicks_ +=
+        ClockDomain::ticksThrough(to - 1, params_.dramClock) -
+        ClockDomain::ticksThrough(from - 1, params_.dramClock);
+}
+
+void
+MemPartition::tickL2Side(Cycle now)
+{
+    // 3..6. L2 pipes and front queues, downstream-most first so a
+    // request moves at most one hop per cycle.
     tickL2MissPipe(now);
     tickL2HitPipe(now);
     if (params_.l2Enabled)
         tickL2Queue(now);
     tickRopQueue(now);
+}
+
+void
+MemPartition::tick(Cycle now)
+{
+    tickMemSide(now);
+    tickL2Side(now);
+}
+
+Cycle
+MemPartition::nextMemEventAt(Cycle now) const
+{
+    Cycle e = kNoCycle;
+    if (!dramInService_.empty())
+        e = std::min(e, dramInService_.front().first);
+    if (!dramQueue_.empty()) {
+        // Next scheduling decision: the first upcoming tick whose
+        // index is a multiple of the command interval (a pick may
+        // still fail on busy banks; the next boundary is probed
+        // then). memTicks_ is the index of the next tick.
+        const Cycle interval = params_.dramCmdInterval;
+        const Cycle next_due =
+            (memTicks_ + interval - 1) / interval * interval;
+        e = std::min(e, std::max(now, ClockDomain::tickCycle(
+                                          next_due,
+                                          params_.dramClock)));
+    }
+    return e;
+}
+
+Cycle
+MemPartition::nextL2EventAt(Cycle now) const
+{
+    (void)now;
+    Cycle e = std::min(ropQueue_.headReadyAt(),
+                       l2Queue_.headReadyAt());
+    e = std::min(e, l2HitPipe_.headReadyAt());
+    e = std::min(e, l2MissPipe_.headReadyAt());
+    return e;
 }
 
 bool
@@ -281,6 +345,30 @@ MemPartition::drained() const
            l2HitPipe_.empty() && l2MissPipe_.empty() &&
            l2Mshr_.empty() && dramQueue_.empty() &&
            dramInService_.empty() && returnQueue_.empty();
+}
+
+std::size_t
+MemPartition::inFlight() const
+{
+    return ropQueue_.size() + l2Queue_.size() + l2HitPipe_.size() +
+           l2MissPipe_.size() + l2Mshr_.inFlight() +
+           dramQueue_.size() + dramInService_.size() +
+           returnQueue_.size();
+}
+
+std::string
+MemPartition::occupancySummary() const
+{
+    std::ostringstream oss;
+    oss << "part" << id_ << "{rop=" << ropQueue_.size()
+        << " l2q=" << l2Queue_.size()
+        << " hit=" << l2HitPipe_.size()
+        << " miss=" << l2MissPipe_.size()
+        << " mshr=" << l2Mshr_.inFlight()
+        << " dramq=" << dramQueue_.size()
+        << " dram=" << dramInService_.size()
+        << " ret=" << returnQueue_.size() << "}";
+    return oss.str();
 }
 
 } // namespace gpulat

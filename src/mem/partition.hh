@@ -22,11 +22,13 @@
 #include <deque>
 #include <memory>
 #include <optional>
+#include <string>
 
 #include "cache/cache.hh"
 #include "cache/mshr.hh"
 #include "common/queue.hh"
 #include "common/stats.hh"
+#include "engine/clocked.hh"
 #include "mem/dram.hh"
 #include "mem/dram_sched.hh"
 #include "mem/request.hh"
@@ -60,8 +62,12 @@ struct PartitionParams
     /** FR-FCFS anti-starvation age (cycles). */
     Cycle dramStarvationLimit = 768;
     DramParams dram;
-    /** Core cycles between DRAM scheduling decisions. */
+    /** DRAM-domain ticks between scheduling decisions (== core
+     *  cycles at the default 1:1 DRAM clock). */
     Cycle dramCmdInterval = 2;
+    /** DRAM clock relative to core (set by the owning Gpu; maps
+     *  tick counts back to core cycles for event queries). */
+    ClockRatio dramClock{1, 1};
 
     std::size_t returnQueueSize = 32;
     Cycle returnQueueLatency = 1;
@@ -83,8 +89,33 @@ class MemPartition
     /** Hand over a request ejected from the request network. */
     void accept(Cycle now, MemRequest req);
 
-    /** Advance all internal pipelines by one cycle. */
+    /**
+     * Advance all internal pipelines by one cycle (both clock
+     * sides; kept for single-domain callers such as unit tests).
+     */
     void tick(Cycle now);
+
+    /** @name Clock-domain views (engine-driven ticking) @{ */
+
+    /** DRAM-side cycle: completions drain, scheduler decides. */
+    void tickMemSide(Cycle now);
+
+    /** Account DRAM-side ticks skipped over the dead [from, to). */
+    void skipMemSide(Cycle from, Cycle to);
+
+    /** L2-side cycle: miss/hit pipes, L2 queue, ROP queue. */
+    void tickL2Side(Cycle now);
+
+    /** Earliest cycle tickMemSide() might do work (kNoCycle: none). */
+    Cycle nextMemEventAt(Cycle now) const;
+
+    /** Earliest cycle tickL2Side() might do work (kNoCycle: none). */
+    Cycle nextL2EventAt(Cycle now) const;
+
+    /** Earliest cycle a response becomes ready (kNoCycle: none). */
+    Cycle nextResponseAt() const { return returnQueue_.headReadyAt(); }
+
+    /** @} */
 
     /** True if a read response is ready to enter the return network. */
     bool responseReady(Cycle now) const
@@ -100,6 +131,12 @@ class MemPartition
 
     /** True when no request is anywhere inside the partition. */
     bool drained() const;
+
+    /** Requests anywhere inside the partition (for stall reports). */
+    std::size_t inFlight() const;
+
+    /** One-line queue-occupancy summary (for stall reports). */
+    std::string occupancySummary() const;
 
     Cache *l2() { return l2_.get(); }
     DramChannel &dram() { return dram_; }
@@ -126,6 +163,8 @@ class MemPartition
     std::unique_ptr<Cache> l2_;
     MshrTable<MemRequest> l2Mshr_;
 
+    /** DRAM-side ticks performed (scheduling-cadence counter). */
+    Cycle memTicks_ = 0;
     /** Pending DRAM requests, arrival order (scheduler scans). */
     std::deque<MemRequest> dramQueue_;
     /** In-service DRAM requests; completion times non-decreasing. */

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <cstring>
+#include <sstream>
 
 #include "common/log.hh"
 
@@ -84,6 +85,7 @@ SmCore::startLaunch(const LaunchContext *ctx)
 {
     GPULAT_ASSERT(residentWarps_ == 0, "launch while SM busy");
     ctx_ = ctx;
+    issuedLastTick_ = true;
 }
 
 bool
@@ -805,19 +807,56 @@ SmCore::tick(Cycle now)
     tickInject(now);
     tickLsu(now);
     const bool issued_any = tickIssue(now);
+    issuedLastTick_ = issued_any;
 
     if (residentWarps_ > 0) {
         activeStat_->inc();
         if (!issued_any) {
             ++idleCum_;
             idleStat_->inc();
-            classifyIdleCycle();
+            if (Counter *cause = idleCauseCounter())
+                cause->inc();
         }
     }
 }
 
+Cycle
+SmCore::nextEventAt(Cycle now) const
+{
+    // The last tick issued: dependent state may cascade next cycle.
+    if (issuedLastTick_)
+        return now;
+    Cycle e = kNoCycle;
+    if (!regWheel_.empty())
+        e = std::min(e, regWheel_.begin()->first);
+    if (!hitWheel_.empty())
+        e = std::min(e, hitWheel_.begin()->first);
+    e = std::min(e, lsuQueue_.headReadyAt());
+    e = std::min(e, missQueue_.headReadyAt());
+    return e;
+}
+
 void
-SmCore::classifyIdleCycle()
+SmCore::fastForward(Cycle from, Cycle to)
+{
+    if (residentWarps_ == 0)
+        return;
+    // The engine only skips windows this SM reported dead, which
+    // (with warps resident) requires that the last tick issued
+    // nothing — so every skipped cycle is an idle cycle.
+    GPULAT_ASSERT(!issuedLastTick_, "fast-forward through active SM");
+    const std::uint64_t delta = to - from;
+    activeStat_->inc(delta);
+    idleCum_ += delta;
+    idleStat_->inc(delta);
+    // Nothing changes inside a dead window, so the per-cycle idle
+    // classification is constant across it: classify once, scale.
+    if (Counter *cause = idleCauseCounter())
+        cause->inc(delta);
+}
+
+Counter *
+SmCore::idleCauseCounter()
 {
     // Attribute the dead cycle to the most actionable cause seen
     // across resident warps: memory dependency > LSU backpressure >
@@ -858,13 +897,28 @@ SmCore::classifyIdleCycle()
         }
     }
     if (saw_mem)
-        idleMemStat_->inc();
-    else if (saw_lsu)
-        idleLsuStat_->inc();
-    else if (saw_barrier)
-        idleBarrierStat_->inc();
-    else if (saw_alu)
-        idleAluStat_->inc();
+        return idleMemStat_;
+    if (saw_lsu)
+        return idleLsuStat_;
+    if (saw_barrier)
+        return idleBarrierStat_;
+    if (saw_alu)
+        return idleAluStat_;
+    return nullptr;
+}
+
+std::string
+SmCore::occupancySummary() const
+{
+    std::ostringstream oss;
+    oss << "sm" << params_.smId << "{warps=" << residentWarps_
+        << " lsu=" << lsuQueue_.size()
+        << " missq=" << missQueue_.size()
+        << " mshr=" << l1Mshr_.inFlight()
+        << " loads=" << inflightCount_
+        << " regwb=" << regWheel_.size()
+        << " hitwb=" << hitWheel_.size() << "}";
+    return oss.str();
 }
 
 void

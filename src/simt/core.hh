@@ -24,6 +24,7 @@
 #include "cache/mshr.hh"
 #include "common/queue.hh"
 #include "common/stats.hh"
+#include "engine/clocked.hh"
 #include "icnt/crossbar.hh"
 #include "isa/kernel.hh"
 #include "latency/collector.hh"
@@ -83,7 +84,7 @@ struct LaunchContext
     std::uint64_t localBytesPerThread = 0;
 };
 
-class SmCore
+class SmCore : public Clocked
 {
   public:
     /**
@@ -113,7 +114,18 @@ class SmCore
     void dispatchBlock(unsigned block_id);
 
     /** Advance one cycle. */
-    void tick(Cycle now);
+    void tick(Cycle now) override;
+
+    /**
+     * Earliest cycle tick() might do work again. Valid only right
+     * after a tick: if the last tick issued nothing, issueability
+     * can next change at the earliest wheel/queue event (responses
+     * and block dispatch are events of other components).
+     */
+    Cycle nextEventAt(Cycle now) const override;
+
+    /** Bulk-account idle statistics for a skipped window. */
+    void fastForward(Cycle from, Cycle to) override;
 
     /** Deliver a response ejected from the return network. */
     void acceptResponse(Cycle now, MemRequest req);
@@ -132,6 +144,12 @@ class SmCore
 
     /** Cumulative cycles with resident warps but zero issue. */
     std::uint64_t idleCycles() const { return idleCum_; }
+
+    /** Loads issued but not yet written back. */
+    unsigned inflightLoads() const { return inflightCount_; }
+
+    /** One-line queue-occupancy summary (for stall reports). */
+    std::string occupancySummary() const;
 
   private:
     struct ResidentBlock
@@ -189,7 +207,8 @@ class SmCore
     /** @} */
 
     bool canIssue(Warp &warp, Cycle now);
-    void classifyIdleCycle();
+    /** Counter the current dead cycle attributes to (may be null). */
+    Counter *idleCauseCounter();
     void issueWarp(Warp &warp, Cycle now);
     void execAlu(Warp &warp, const Instruction &inst, LaneMask guard,
                  Cycle now);
@@ -248,6 +267,9 @@ class SmCore
     std::multimap<Cycle, HitDone> hitWheel_;
 
     std::uint64_t idleCum_ = 0;
+    /** Whether the most recent tick issued any instruction — the
+     *  idle-skip guard in nextEventAt() (true = assume active). */
+    bool issuedLastTick_ = true;
 
     Counter *issued_;
     Counter *memInstrs_;

@@ -1,0 +1,587 @@
+/**
+ * @file
+ * Clocked-component engine tests: ratio-correct domain
+ * interleaving, idle fast-forward cycle-exactness, and regression
+ * against the pre-engine (hand-orchestrated tick) simulator on the
+ * paper's workloads.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "engine/tick_engine.hh"
+#include "gpu/gpu.hh"
+#include "isa/assembler.hh"
+#include "latency/breakdown.hh"
+#include "microbench/pchase.hh"
+#include "workloads/bfs.hh"
+#include "workloads/vecadd.hh"
+
+namespace gpulat {
+namespace {
+
+// ------------------------------------------------------- ClockDomain
+
+TEST(ClockDomain, UnityTicksEveryCycle)
+{
+    ClockDomain d("core", ClockRatio{1, 1});
+    for (Cycle c = 0; c < 5; ++c) {
+        EXPECT_EQ(d.dueTicks(c), 1u) << "cycle " << c;
+        d.retire(1);
+    }
+    EXPECT_EQ(d.localCycles(), 5u);
+}
+
+TEST(ClockDomain, HalfRateTicksEveryOtherCycle)
+{
+    ClockDomain d("dram", ClockRatio{1, 2});
+    std::vector<unsigned> due;
+    for (Cycle c = 0; c < 6; ++c) {
+        due.push_back(d.dueTicks(c));
+        d.retire(due.back());
+    }
+    EXPECT_EQ(due, (std::vector<unsigned>{1, 0, 1, 0, 1, 0}));
+}
+
+TEST(ClockDomain, DoubleRateTicksTwicePerCycle)
+{
+    ClockDomain d("icnt", ClockRatio{2, 1});
+    unsigned total = 0;
+    for (Cycle c = 0; c < 4; ++c) {
+        total += d.dueTicks(c);
+        d.retire(d.dueTicks(c));
+    }
+    // 2x frequency: ticksThrough(c) = 2c + 1, so 7 ticks over 4
+    // core cycles (a single tick at cycle 0, where every domain
+    // aligns, then two per cycle).
+    EXPECT_EQ(total, 7u);
+}
+
+TEST(ClockDomain, FractionalRatioKeepsLongRunRate)
+{
+    ClockDomain d("l2", ClockRatio{2, 3});
+    unsigned total = 0;
+    for (Cycle c = 0; c < 300; ++c) {
+        const unsigned due = d.dueTicks(c);
+        EXPECT_LE(due, 1u);
+        total += due;
+        d.retire(due);
+    }
+    // floor(299 * 2/3) + 1 ticks over 300 cycles.
+    EXPECT_EQ(total, 200u);
+}
+
+TEST(ClockDomain, NextTickAlignsEventsToTheGrid)
+{
+    ClockDomain d("dram", ClockRatio{1, 2}); // ticks on even cycles
+    d.retire(d.dueTicks(0));
+    EXPECT_EQ(d.nextTickAtOrAfter(1), 2u);
+    EXPECT_EQ(d.nextTickAtOrAfter(2), 2u);
+    EXPECT_EQ(d.nextTickAtOrAfter(101), 102u);
+    d.skipTo(101); // window [*, 101) dead: schedule caught up
+    EXPECT_EQ(d.dueTicks(101), 0u);
+    EXPECT_EQ(d.dueTicks(102), 1u);
+}
+
+TEST(ClockDomain, NextTickNeverOvershootsFractionalGrids)
+{
+    // {2,3} ticks at ceil(3k/2) = 0, 2, 3, 5, 6, 8, ...; an event
+    // at 5 must land on the scheduled tick at 5, not on 6.
+    ClockDomain a("l2", ClockRatio{2, 3});
+    EXPECT_EQ(a.nextTickAtOrAfter(5), 5u);
+    EXPECT_EQ(a.nextTickAtOrAfter(4), 5u);
+    EXPECT_EQ(a.nextTickAtOrAfter(1), 2u);
+
+    // Exhaustive cross-check against the schedule for odd ratios.
+    for (const ClockRatio r :
+         {ClockRatio{2, 3}, ClockRatio{3, 2}, ClockRatio{3, 7},
+          ClockRatio{7, 3}}) {
+        ClockDomain d("x", r);
+        for (Cycle e = 0; e < 50; ++e) {
+            const Cycle t = d.nextTickAtOrAfter(e);
+            // t is on the grid...
+            const Cycle k = ClockDomain::firstTickAtOrAfter(t, r);
+            EXPECT_EQ(ClockDomain::tickCycle(k, r), t)
+                << r.mul << ":" << r.div << " e=" << e;
+            // ...and no scheduled tick lies in [e, t) (e >= 1 when
+            // the loop runs, since e = 0 yields t = 0).
+            for (Cycle c = e; c < t; ++c) {
+                EXPECT_EQ(ClockDomain::ticksThrough(c, r),
+                          ClockDomain::ticksThrough(c - 1, r))
+                    << r.mul << ":" << r.div << " e=" << e
+                    << " c=" << c;
+            }
+        }
+    }
+}
+
+// -------------------------------------------------------- TickEngine
+
+/** Records every tick as (name, core-cycle); never idle. */
+struct RecordingComponent : Clocked
+{
+    RecordingComponent(std::string n,
+                       std::vector<std::pair<std::string, Cycle>> *l)
+        : name(std::move(n)), log(l)
+    {
+    }
+    void tick(Cycle now) override { log->emplace_back(name, now); }
+    Cycle nextEventAt(Cycle now) const override { return now; }
+
+    std::string name;
+    std::vector<std::pair<std::string, Cycle>> *log;
+};
+
+TEST(TickEngine, RatioCorrectInterleaving)
+{
+    std::vector<std::pair<std::string, Cycle>> log;
+    TickEngine engine;
+    ClockDomain &core = engine.addDomain("core", ClockRatio{1, 1});
+    ClockDomain &half = engine.addDomain("half", ClockRatio{1, 2});
+    ClockDomain &dbl = engine.addDomain("dbl", ClockRatio{2, 1});
+
+    RecordingComponent a("A", &log);
+    RecordingComponent h("H", &log);
+    RecordingComponent d("D", &log);
+    engine.add(core, a);
+    engine.add(half, h);
+    engine.add(dbl, d);
+
+    for (int i = 0; i < 4; ++i)
+        engine.step();
+
+    // Registration order within a cycle; due counts per ratio.
+    const std::vector<std::pair<std::string, Cycle>> expected{
+        {"A", 0}, {"H", 0}, {"D", 0},           // all domains align
+        {"A", 1}, {"D", 1}, {"D", 1},           // dbl owes two
+        {"A", 2}, {"H", 2}, {"D", 2}, {"D", 2}, // half on evens
+        {"A", 3}, {"D", 3}, {"D", 3},
+    };
+    EXPECT_EQ(log, expected);
+
+    unsigned a_ticks = 0;
+    unsigned h_ticks = 0;
+    unsigned d_ticks = 0;
+    for (const auto &[name, cycle] : log) {
+        a_ticks += name == "A";
+        h_ticks += name == "H";
+        d_ticks += name == "D";
+    }
+    EXPECT_EQ(a_ticks, 4u);
+    EXPECT_EQ(h_ticks, 2u); // half rate
+    EXPECT_EQ(d_ticks, 7u); // double rate (1 + 2 + 2 + 2)
+}
+
+/** Idle until a fixed wake cycle; logs fast-forward windows. */
+struct SleepyComponent : Clocked
+{
+    explicit SleepyComponent(Cycle w) : wake(w) {}
+    void
+    tick(Cycle now) override
+    {
+        if (now >= wake)
+            ++ticksAwake;
+    }
+    Cycle
+    nextEventAt(Cycle now) const override
+    {
+        return std::max(now, wake);
+    }
+    void
+    fastForward(Cycle from, Cycle to) override
+    {
+        windows.emplace_back(from, to);
+    }
+
+    Cycle wake;
+    unsigned ticksAwake = 0;
+    std::vector<std::pair<Cycle, Cycle>> windows;
+};
+
+TEST(TickEngine, FastForwardJumpsToNextEvent)
+{
+    TickEngine engine;
+    ClockDomain &core = engine.addDomain("core", ClockRatio{1, 1});
+    SleepyComponent sleepy(100);
+    engine.add(core, sleepy);
+
+    engine.step(); // tick at cycle 0 (asleep)
+    EXPECT_EQ(engine.fastForward(), 99u);
+    EXPECT_EQ(engine.now(), 100u);
+    ASSERT_EQ(sleepy.windows.size(), 1u);
+    EXPECT_EQ(sleepy.windows[0], std::make_pair(Cycle{1}, Cycle{100}));
+
+    engine.step();
+    EXPECT_EQ(sleepy.ticksAwake, 1u);
+    EXPECT_EQ(engine.skippedCycles(), 99u);
+    EXPECT_EQ(engine.fastForwardWindows(), 1u);
+}
+
+TEST(TickEngine, FastForwardAlignsToDomainGrid)
+{
+    TickEngine engine;
+    ClockDomain &half = engine.addDomain("half", ClockRatio{1, 2});
+    SleepyComponent sleepy(101); // odd: half domain ticks on evens
+    engine.add(half, sleepy);
+
+    engine.step();
+    EXPECT_GT(engine.fastForward(), 0u);
+    EXPECT_EQ(engine.now(), 102u); // first even cycle >= 101
+    engine.step();
+    EXPECT_EQ(sleepy.ticksAwake, 1u);
+}
+
+TEST(TickEngine, ActiveComponentBlocksFastForward)
+{
+    TickEngine engine;
+    ClockDomain &core = engine.addDomain("core", ClockRatio{1, 1});
+    std::vector<std::pair<std::string, Cycle>> log;
+    RecordingComponent busy("B", &log);
+    SleepyComponent sleepy(100);
+    engine.add(core, busy);
+    engine.add(core, sleepy);
+
+    engine.step();
+    EXPECT_EQ(engine.fastForward(), 0u);
+    EXPECT_EQ(engine.now(), 1u);
+}
+
+// ------------------------------------------- cycle-exact equivalence
+
+/** Small config so tests are fast but still multi-SM/partition. */
+GpuConfig
+smallGF106()
+{
+    GpuConfig cfg = makeGF106();
+    cfg.numSms = 2;
+    cfg.numPartitions = 2;
+    cfg.deviceMemBytes = 32 * 1024 * 1024;
+    return cfg;
+}
+
+struct RunCapture
+{
+    bool correct = false;
+    Cycle cycles = 0;
+    std::uint64_t instructions = 0;
+    std::vector<LatencyTrace> traces;
+    std::vector<ExposureRecord> exposure;
+    std::uint64_t idleCycles = 0;
+    Cycle skipped = 0;
+    std::uint64_t steps = 0;
+    Cycle endCycle = 0;
+};
+
+RunCapture
+runWorkload(Workload &wl, GpuConfig cfg)
+{
+    Gpu gpu(std::move(cfg));
+    const WorkloadResult r = wl.run(gpu);
+    RunCapture cap;
+    cap.correct = r.correct;
+    cap.cycles = r.cycles;
+    cap.instructions = r.instructions;
+    cap.traces = gpu.latencies().traces();
+    cap.exposure = gpu.exposure().records();
+    for (unsigned s = 0; s < gpu.config().numSms; ++s)
+        cap.idleCycles += gpu.stats().counterValue(
+            "sm" + std::to_string(s) + ".idle_cycles");
+    cap.skipped = gpu.engine().skippedCycles();
+    cap.steps = gpu.engine().steps();
+    cap.endCycle = gpu.now();
+    return cap;
+}
+
+void
+expectIdenticalTraces(const std::vector<LatencyTrace> &a,
+                      const std::vector<LatencyTrace> &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].issue, b[i].issue) << i;
+        EXPECT_EQ(a[i].l1Access, b[i].l1Access) << i;
+        EXPECT_EQ(a[i].icntInject, b[i].icntInject) << i;
+        EXPECT_EQ(a[i].ropEnq, b[i].ropEnq) << i;
+        EXPECT_EQ(a[i].l2Enq, b[i].l2Enq) << i;
+        EXPECT_EQ(a[i].l2Done, b[i].l2Done) << i;
+        EXPECT_EQ(a[i].dramEnq, b[i].dramEnq) << i;
+        EXPECT_EQ(a[i].dramSched, b[i].dramSched) << i;
+        EXPECT_EQ(a[i].dramData, b[i].dramData) << i;
+        EXPECT_EQ(a[i].complete, b[i].complete) << i;
+        EXPECT_EQ(a[i].hitLevel, b[i].hitLevel) << i;
+    }
+}
+
+TEST(Engine, FastForwardIsCycleExactOnVecAdd)
+{
+    VecAdd::Options o;
+    o.n = 1 << 12;
+    VecAdd wl_ff(o);
+    VecAdd wl_naive(o);
+
+    GpuConfig on = smallGF106();
+    on.idleFastForward = true;
+    GpuConfig off = smallGF106();
+    off.idleFastForward = false;
+
+    const RunCapture ff = runWorkload(wl_ff, on);
+    const RunCapture naive = runWorkload(wl_naive, off);
+
+    EXPECT_TRUE(ff.correct);
+    EXPECT_TRUE(naive.correct);
+    EXPECT_EQ(ff.cycles, naive.cycles);
+    EXPECT_EQ(ff.instructions, naive.instructions);
+    EXPECT_EQ(ff.idleCycles, naive.idleCycles);
+    expectIdenticalTraces(ff.traces, naive.traces);
+    ASSERT_EQ(ff.exposure.size(), naive.exposure.size());
+    for (std::size_t i = 0; i < ff.exposure.size(); ++i) {
+        EXPECT_EQ(ff.exposure[i].total, naive.exposure[i].total) << i;
+        EXPECT_EQ(ff.exposure[i].exposed, naive.exposure[i].exposed)
+            << i;
+    }
+
+    // Fast-forward actually skipped work: fewer loop steps, and
+    // steps + skipped add up to the simulated timeline.
+    EXPECT_GT(ff.skipped, 0u);
+    EXPECT_LT(ff.steps, naive.steps);
+    EXPECT_EQ(ff.steps + ff.skipped, ff.endCycle);
+    EXPECT_EQ(naive.skipped, 0u);
+}
+
+TEST(Engine, FastForwardIsCycleExactOnBfs)
+{
+    Bfs::Options o;
+    o.kind = Bfs::GraphKind::Rmat;
+    o.scale = 10;
+    o.degree = 8;
+    Bfs wl_ff(o);
+    Bfs wl_naive(o);
+
+    GpuConfig on = smallGF106();
+    on.idleFastForward = true;
+    GpuConfig off = smallGF106();
+    off.idleFastForward = false;
+
+    const RunCapture ff = runWorkload(wl_ff, on);
+    const RunCapture naive = runWorkload(wl_naive, off);
+
+    EXPECT_TRUE(ff.correct);
+    EXPECT_TRUE(naive.correct);
+    EXPECT_EQ(ff.cycles, naive.cycles);
+    EXPECT_EQ(ff.idleCycles, naive.idleCycles);
+    expectIdenticalTraces(ff.traces, naive.traces);
+    EXPECT_GT(ff.skipped, 0u);
+}
+
+// --------------------------------------- pre-refactor golden numbers
+
+// Captured from the seed simulator (hand-orchestrated Gpu::tick(),
+// commit c180f0e) with this exact config and workload. The engine
+// at default 1:1:1:1 ratios must reproduce them bit-for-bit.
+
+TEST(Engine, SeedRegressionVecAddGF106)
+{
+    VecAdd::Options o;
+    o.n = 1 << 12;
+    VecAdd wl(o);
+    const RunCapture cap = runWorkload(wl, smallGF106());
+
+    EXPECT_TRUE(cap.correct);
+    EXPECT_EQ(cap.cycles, 15490u);
+    EXPECT_EQ(cap.instructions, 2432u);
+    EXPECT_EQ(cap.traces.size(), 512u);
+    EXPECT_EQ(cap.exposure.size(), 256u);
+    EXPECT_EQ(cap.idleCycles, 26058u);
+
+    const Breakdown bd = computeBreakdown(cap.traces, 16);
+    const std::array<std::uint64_t, kNumStages> expected{
+        260804, 4328, 20489, 12288, 18316, 402617, 314406, 21523};
+    EXPECT_EQ(bd.totalByStage, expected);
+}
+
+TEST(Engine, SeedRegressionBfsGF106)
+{
+    Bfs::Options o;
+    o.kind = Bfs::GraphKind::Rmat;
+    o.scale = 10;
+    o.degree = 8;
+    Bfs wl(o);
+    const RunCapture cap = runWorkload(wl, smallGF106());
+
+    EXPECT_TRUE(cap.correct);
+    EXPECT_EQ(cap.cycles, 146849u);
+    EXPECT_EQ(cap.instructions, 29515u);
+    EXPECT_EQ(cap.traces.size(), 11484u);
+    EXPECT_EQ(cap.exposure.size(), 4220u);
+    EXPECT_EQ(cap.idleCycles, 174744u);
+
+    const Breakdown bd = computeBreakdown(cap.traces, 16);
+    const std::array<std::uint64_t, kNumStages> expected{
+        729071, 10826, 55102, 33024, 191599, 100083, 306492, 58052};
+    EXPECT_EQ(bd.totalByStage, expected);
+}
+
+TEST(Engine, SeedRegressionVecAddGK104)
+{
+    VecAdd::Options o;
+    o.n = 1 << 12;
+    VecAdd wl(o);
+    const RunCapture cap = runWorkload(wl, makeGK104());
+
+    EXPECT_TRUE(cap.correct);
+    EXPECT_EQ(cap.cycles, 1982u);
+    EXPECT_EQ(cap.instructions, 2432u);
+    EXPECT_EQ(cap.traces.size(), 512u);
+    EXPECT_EQ(cap.idleCycles, 11251u);
+
+    const Breakdown bd = computeBreakdown(cap.traces, 16);
+    const std::array<std::uint64_t, kNumStages> expected{
+        22208, 32567, 42568, 26798, 157791, 50632, 104936, 13374};
+    EXPECT_EQ(bd.totalByStage, expected);
+}
+
+// -------------------------------------------------- non-unity ratios
+
+/**
+ * Idle DRAM-resident pointer-chase latency under a config: a single
+ * warp chasing dependent pointers cannot hide any latency, so a
+ * slower domain on the fetch path must strictly cost cycles (loaded
+ * throughput workloads can react non-monotonically — a slower DRAM
+ * cadence deepens the queue FR-FCFS reorders over, which can *help*).
+ */
+Cycle
+chaseLatency(GpuConfig cfg)
+{
+    Gpu gpu(std::move(cfg));
+    PChaseConfig pc;
+    pc.space = MemSpace::Global;
+    pc.footprintBytes = 2 * 1024 * 1024; // >> total L2: DRAM-resident
+    pc.strideBytes = 512;
+    pc.timedAccesses = 128;
+    const PChaseResult r = runPointerChase(gpu, pc);
+    return r.timedCycles;
+}
+
+TEST(Engine, SlowerDramClockRaisesChaseLatency)
+{
+    const Cycle base = chaseLatency(smallGF106());
+    GpuConfig slow = smallGF106();
+    slow.dramClock = ClockRatio{1, 2};
+    EXPECT_GT(chaseLatency(slow), base);
+}
+
+TEST(Engine, SlowerIcntClockRaisesChaseLatency)
+{
+    const Cycle base = chaseLatency(smallGF106());
+    GpuConfig slow = smallGF106();
+    slow.icntClock = ClockRatio{1, 2};
+    EXPECT_GT(chaseLatency(slow), base);
+}
+
+TEST(Engine, MultiRateIsDeterministic)
+{
+    auto run = [] {
+        GpuConfig cfg = smallGF106();
+        cfg.icntClock = ClockRatio{1, 2};
+        cfg.l2Clock = ClockRatio{2, 3};
+        cfg.dramClock = ClockRatio{1, 3};
+        Bfs::Options o;
+        o.kind = Bfs::GraphKind::Rmat;
+        o.scale = 9;
+        Bfs wl(o);
+        const RunCapture cap = runWorkload(wl, cfg);
+        EXPECT_TRUE(cap.correct);
+        return cap.cycles;
+    };
+    EXPECT_EQ(run(), run());
+}
+
+TEST(Engine, MultiRateFastForwardStaysCycleExact)
+{
+    Bfs::Options o;
+    o.kind = Bfs::GraphKind::Rmat;
+    o.scale = 9;
+
+    // Fractional ratios (mul > 1 and div > 1) exercise the
+    // irregular tick grids where naive event alignment once
+    // overshot scheduled ticks.
+    GpuConfig on = smallGF106();
+    on.icntClock = ClockRatio{1, 2};
+    on.l2Clock = ClockRatio{2, 3};
+    on.dramClock = ClockRatio{3, 7};
+    GpuConfig off = on;
+    off.idleFastForward = false;
+
+    Bfs wl_ff(o);
+    Bfs wl_naive(o);
+    const RunCapture ff = runWorkload(wl_ff, on);
+    const RunCapture naive = runWorkload(wl_naive, off);
+
+    EXPECT_TRUE(ff.correct);
+    EXPECT_EQ(ff.cycles, naive.cycles);
+    expectIdenticalTraces(ff.traces, naive.traces);
+    EXPECT_GT(ff.skipped, 0u);
+}
+
+TEST(Engine, RejectsDegenerateRatios)
+{
+    // Every domain knob, both degenerate shapes: the icnt ratio in
+    // particular is consumed in the Gpu member-initializer list, so
+    // validation must fire before any arithmetic touches it.
+    for (auto knob : {&GpuConfig::icntClock, &GpuConfig::l2Clock,
+                      &GpuConfig::dramClock}) {
+        for (const ClockRatio bad :
+             {ClockRatio{0, 1}, ClockRatio{1, 0}, ClockRatio{1, 65},
+              ClockRatio{65, 1}}) {
+            GpuConfig cfg = smallGF106();
+            cfg.*knob = bad;
+            EXPECT_THROW(Gpu{cfg}, FatalError)
+                << bad.mul << ":" << bad.div;
+        }
+    }
+}
+
+// ------------------------------------------------- experiment reset
+
+TEST(Engine, ExperimentResetClearsCollectorsAndEpochs)
+{
+    Gpu gpu(smallGF106());
+    const Kernel k = assemble(R"(
+        s2r r0, tid
+        shl r1, r0, 3
+        mov r2, param0
+        iadd r2, r2, r1
+        ld.global r3, [r2]
+        iadd r3, r3, 1
+        st.global [r2], r3
+        exit
+    )");
+    const Addr buf = gpu.alloc(256 * 8);
+    gpu.launch(k, 2, 128, {buf});
+
+    EXPECT_GT(gpu.latencies().count(), 0u);
+    EXPECT_GT(gpu.exposure().count(), 0u);
+    EXPECT_GT(gpu.stats().counterValue("sm0.issued"), 0u);
+
+    gpu.invalidateCaches();
+
+    EXPECT_EQ(gpu.latencies().count(), 0u);
+    EXPECT_EQ(gpu.exposure().count(), 0u);
+    // Monotonic counters keep their totals; the epoch view resets.
+    EXPECT_GT(gpu.stats().counterValue("sm0.issued"), 0u);
+    EXPECT_EQ(gpu.stats().counterSinceEpoch("sm0.issued"), 0u);
+
+    const LaunchResult second = gpu.launch(k, 2, 128, {buf});
+    EXPECT_GT(gpu.latencies().count(), 0u);
+    std::uint64_t issued_epoch = 0;
+    for (unsigned s = 0; s < gpu.config().numSms; ++s)
+        issued_epoch += gpu.stats().counterSinceEpoch(
+            "sm" + std::to_string(s) + ".issued");
+    EXPECT_EQ(issued_epoch, second.instructions);
+}
+
+} // namespace
+} // namespace gpulat
