@@ -3,52 +3,41 @@
  * Atomic contention sweep (extension): histogram with bin counts
  * from 2 (two hot L2 lines, fully serialized) to 4096 (spread):
  * runtime and mean atomic latency versus contention.
+ *
+ * Driven through the experiment API: the whole sweep is one spec
+ * with a comma-listed `bins` parameter. Atomic latencies are the
+ * traces for DRAM/L2 RMW requests; the input loads are coalesced
+ * streams, so atomics dominate mean_load_latency here.
  */
 
 #include <iostream>
 
-#include "common/table.hh"
-#include "gpu/gpu.hh"
-#include "workloads/histogram.hh"
+#include "api/experiment.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace gpulat;
 
-    TextTable table({"bins", "cycles", "mean atomic lat",
-                     "correct"});
+    MultiSink sinks;
+    sinks.add(std::make_unique<TextTableSink>(std::cout));
+    addOutputSinks(sinks, argc, argv);
 
-    for (std::uint64_t bins : {2ull, 8ull, 32ull, 128ull, 512ull,
-                               4096ull}) {
-        GpuConfig cfg = makeGF100Sim();
-        Gpu gpu(cfg);
-        AtomicHistogram::Options opts;
-        opts.n = 1 << 14;
-        opts.bins = bins;
-        AtomicHistogram workload(opts);
-        const WorkloadResult result = workload.run(gpu);
+    ExperimentSpec spec;
+    spec.workload = "histogram";
+    spec.params = {"n=16384", "bins=2,8,32,128,512,4096"};
 
-        // Atomic latencies are the traces for DRAM/L2 RMW requests;
-        // the input loads are coalesced streams, so atomics dominate
-        // the request count here.
-        double sum = 0.0;
-        for (const auto &t : gpu.latencies().traces())
-            sum += static_cast<double>(t.total());
-        const double mean = gpu.latencies().count()
-            ? sum / static_cast<double>(gpu.latencies().count())
-            : 0.0;
-
-        table.addRow({std::to_string(bins),
-                      std::to_string(result.cycles),
-                      formatDouble(mean, 1),
-                      result.correct ? "yes" : "NO"});
+    bool all_correct = true;
+    for (const ExperimentSpec &point : expandSweep(spec)) {
+        const ExperimentRecord rec = runExperiment(point);
+        all_correct = all_correct && rec.correct;
+        sinks.write(rec);
     }
 
     std::cout << "Atomic contention sweep (GF100-sim histogram)\n\n";
-    table.print(std::cout);
+    sinks.finish();
     std::cout << "\nexpected shape: fewer bins concentrate RMWs on "
                  "hot L2 lines; latency and runtime fall as bins "
                  "spread.\n";
-    return 0;
+    return all_correct ? 0 : 1;
 }

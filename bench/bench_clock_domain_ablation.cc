@@ -94,11 +94,12 @@ printPoint(const char *label, Cycle cycles, const Breakdown &bd)
     std::cout << "\n";
 }
 
-void
+bool
 sweepUnderLoad(const char *what,
                const std::vector<SweepPoint> &sweep,
                ClockRatio GpuConfig::*knob)
 {
+    bool all_correct = true;
     std::cout << "\n== " << what
               << "-clock sweep under load (BFS, RMAT scale 12) ==\n"
               << "stage columns: % of aggregate fetch latency\n";
@@ -116,12 +117,14 @@ sweepUnderLoad(const char *what,
         const WorkloadResult result = bfs.run(gpu);
         if (!result.correct) {
             std::cout << pt.label << ": FUNCTIONAL MISMATCH\n";
+            all_correct = false;
             continue;
         }
         const Breakdown bd =
             computeBreakdown(gpu.latencies().traces(), 32);
         printPoint(pt.label, result.cycles, bd);
     }
+    return all_correct;
 }
 
 void
@@ -146,7 +149,7 @@ idleLatencySweep()
     }
 }
 
-void
+bool
 fastForwardEffect()
 {
     std::cout << "\n== idle fast-forward on a latency-bound "
@@ -181,6 +184,7 @@ fastForwardEffect()
     std::cout << (cycles_on == cycles_off
                       ? "simulated cycles identical: OK\n"
                       : "simulated cycles DIFFER: BUG\n");
+    return cycles_on == cycles_off;
 }
 
 } // namespace
@@ -191,9 +195,10 @@ main()
     std::cout << "Clock-domain ablation on " << baseConfig().name
               << " (core : icnt : L2 : DRAM, default 1:1:1:1)\n";
 
-    sweepUnderLoad("DRAM", kDramSweep, &GpuConfig::dramClock);
-    sweepUnderLoad("ICNT", kIcntSweep, &GpuConfig::icntClock);
+    bool ok =
+        sweepUnderLoad("DRAM", kDramSweep, &GpuConfig::dramClock);
+    ok &= sweepUnderLoad("ICNT", kIcntSweep, &GpuConfig::icntClock);
     idleLatencySweep();
-    fastForwardEffect();
-    return 0;
+    ok &= fastForwardEffect();
+    return ok ? 0 : 1;
 }

@@ -5,59 +5,43 @@
  * transpose). Uncoalesced warps issue up to 32 transactions per
  * instruction, multiplying queue pressure — one of the mechanisms
  * behind the loaded latencies of Figure 1.
+ *
+ * Driven through the experiment API: the matrix-size sweep is a
+ * comma-listed parameter, the variants are two registry names.
  */
 
 #include <iostream>
 
-#include "common/table.hh"
-#include "gpu/gpu.hh"
-#include "latency/breakdown.hh"
-#include "workloads/transpose.hh"
+#include "api/experiment.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace gpulat;
 
-    TextTable table({"variant", "n", "cycles", "requests",
-                     "mean load lat", "req/instr"});
+    MultiSink sinks;
+    sinks.add(std::make_unique<TextTableSink>(
+        std::cout, std::vector<std::string>{"requests"}));
+    addOutputSinks(sinks, argc, argv);
 
-    for (unsigned n : {128u, 256u}) {
-        for (bool tiled : {false, true}) {
-            GpuConfig cfg = makeGF100Sim();
-            Gpu gpu(cfg);
-            Transpose::Options opts;
-            opts.n = n;
-            opts.tiled = tiled;
-            Transpose workload(opts);
-            const WorkloadResult result = workload.run(gpu);
-
-            double sum = 0.0;
-            for (const auto &t : gpu.latencies().traces())
-                sum += static_cast<double>(t.total());
-            const double mean = gpu.latencies().count()
-                ? sum / static_cast<double>(gpu.latencies().count())
-                : 0.0;
-            const double rpi = result.instructions
-                ? static_cast<double>(gpu.latencies().count()) /
-                      static_cast<double>(result.instructions)
-                : 0.0;
-
-            table.addRow({workload.name() +
-                              (result.correct ? "" : " (FAILED)"),
-                          std::to_string(n),
-                          std::to_string(result.cycles),
-                          std::to_string(gpu.latencies().count()),
-                          formatDouble(mean, 1),
-                          formatDouble(rpi, 3)});
+    bool all_correct = true;
+    for (const char *variant :
+         {"transpose_naive", "transpose_tiled"}) {
+        ExperimentSpec spec;
+        spec.workload = variant;
+        spec.params = {"n=128,256"};
+        for (const ExperimentSpec &point : expandSweep(spec)) {
+            const ExperimentRecord rec = runExperiment(point);
+            all_correct = all_correct && rec.correct;
+            sinks.write(rec);
         }
     }
 
     std::cout << "Coalescing ablation (GF100-sim): naive vs tiled "
                  "transpose\n\n";
-    table.print(std::cout);
+    sinks.finish();
     std::cout << "\nexpected shape: the tiled variant finishes in "
                  "fewer cycles with fewer memory requests per "
                  "instruction.\n";
-    return 0;
+    return all_correct ? 0 : 1;
 }

@@ -4,103 +4,49 @@
  * potentially be reduced through usage of a different DRAM
  * scheduling algorithm": runs the workloads under FCFS vs FR-FCFS
  * and reports mean load latency, DRAM queue wait and row-hit rate.
+ *
+ * Driven through the experiment API (per-epoch counters via
+ * StatRegistry::counterSinceEpoch() inside collectRecord, instead
+ * of the old hand-summed raw counter reads); `--json FILE` /
+ * `--csv FILE` emit machine-readable records.
  */
 
 #include <iostream>
 
-#include "common/table.hh"
-#include "gpu/gpu.hh"
-#include "latency/breakdown.hh"
-#include "workloads/workload.hh"
-
-namespace {
-
-struct Row
-{
-    std::string workload;
-    std::string sched;
-    double meanLatency;
-    double meanDramWait;
-    double rowHitRate;
-    gpulat::Cycle cycles;
-};
-
-Row
-runOne(gpulat::Workload &workload, gpulat::DramSchedPolicy policy)
-{
-    using namespace gpulat;
-    GpuConfig cfg = makeGF100Sim();
-    cfg.partition.sched = policy;
-    Gpu gpu(cfg);
-    const WorkloadResult result = workload.run(gpu);
-
-    double sum = 0.0;
-    for (const auto &t : gpu.latencies().traces())
-        sum += static_cast<double>(t.total());
-    const double mean = gpu.latencies().count()
-        ? sum / static_cast<double>(gpu.latencies().count())
-        : 0.0;
-
-    double wait_sum = 0.0;
-    std::uint64_t wait_n = 0;
-    std::uint64_t hits = 0;
-    std::uint64_t total_dram = 0;
-    for (unsigned p = 0; p < cfg.numPartitions; ++p) {
-        const std::string prefix = "part" + std::to_string(p);
-        const auto &wait = gpu.stats().scalar(prefix +
-                                              ".dram_queue_wait");
-        wait_sum += wait.sum();
-        wait_n += wait.count();
-        hits += gpu.stats().counterValue(prefix + ".dram.row_hits");
-        total_dram +=
-            gpu.stats().counterValue(prefix + ".dram.row_hits") +
-            gpu.stats().counterValue(prefix + ".dram.row_misses") +
-            gpu.stats().counterValue(prefix + ".dram.row_closed");
-    }
-
-    Row row;
-    row.workload = workload.name();
-    row.sched = toString(policy);
-    row.meanLatency = mean;
-    row.meanDramWait =
-        wait_n ? wait_sum / static_cast<double>(wait_n) : 0.0;
-    row.rowHitRate = total_dram
-        ? 100.0 * static_cast<double>(hits) /
-              static_cast<double>(total_dram)
-        : 0.0;
-    row.cycles = result.cycles;
-    if (!result.correct)
-        row.workload += " (FAILED)";
-    return row;
-}
-
-} // namespace
+#include "api/experiment.hh"
+#include "api/workload_registry.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace gpulat;
 
-    TextTable table({"workload", "dram sched", "mean load lat",
-                     "mean dram wait", "row hit %", "cycles"});
+    MultiSink sinks;
+    sinks.add(std::make_unique<TextTableSink>(
+        std::cout,
+        std::vector<std::string>{"mean_dram_queue_wait",
+                                 "dram_row_hit_pct"}));
+    addOutputSinks(sinks, argc, argv);
 
-    for (auto policy :
-         {DramSchedPolicy::FCFS, DramSchedPolicy::FRFCFS}) {
-        for (auto &workload : makeAllWorkloads(1.0)) {
-            const Row row = runOne(*workload, policy);
-            table.addRow({row.workload, row.sched,
-                          formatDouble(row.meanLatency, 1),
-                          formatDouble(row.meanDramWait, 1),
-                          formatDouble(row.rowHitRate, 1),
-                          std::to_string(row.cycles)});
+    bool all_correct = true;
+    for (const char *policy : {"fcfs", "frfcfs"}) {
+        for (const std::string &name :
+             WorkloadRegistry::instance().names()) {
+            ExperimentSpec spec;
+            spec.workload = name;
+            spec.overrides = {std::string("partition.sched=") +
+                              policy};
+            const ExperimentRecord rec = runExperiment(spec);
+            all_correct = all_correct && rec.correct;
+            sinks.write(rec);
         }
     }
 
     std::cout << "DRAM scheduler ablation (GF100-sim): FCFS vs "
                  "FR-FCFS\n\n";
-    table.print(std::cout);
+    sinks.finish();
     std::cout << "\nexpected shape: FR-FCFS raises the row-hit rate "
                  "and cuts DRAM queue wait / total runtime on "
                  "bandwidth-heavy workloads.\n";
-    return 0;
+    return all_correct ? 0 : 1;
 }

@@ -7,57 +7,65 @@
  * Expected shape (paper): left buckets are pure "SM Base" (L1 hits);
  * long-latency buckets are dominated by the L1->ICNT queue and the
  * DRAM queue-to-scheduled (arbitration) components.
+ *
+ * Driven through the experiment API; the chart and ranking read the
+ * raw latency traces via the run's inspect hook.
  */
 
 #include <iostream>
 
-#include "gpu/gpu.hh"
+#include "api/experiment.hh"
 #include "latency/breakdown.hh"
 #include "latency/summary.hh"
-#include "workloads/bfs.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace gpulat;
 
-    Gpu gpu(makeGF100Sim());
+    MultiSink sinks;
+    addOutputSinks(sinks, argc, argv);
 
-    Bfs::Options opts;
-    opts.kind = Bfs::GraphKind::Rmat;
-    opts.scale = 14;
-    opts.degree = 8;
-    Bfs bfs(opts);
+    ExperimentSpec spec;
+    spec.workload = "bfs";
+    spec.params = {"kind=rmat", "scale=14", "degree=8"};
 
-    std::cout << "Running BFS (RMAT scale " << opts.scale
-              << ", edge factor " << opts.degree << ") on "
-              << gpu.config().name << "...\n";
-    const WorkloadResult result = bfs.run(gpu);
-    std::cout << "BFS " << (result.correct ? "PASSED" : "FAILED")
-              << ": " << result.launches << " levels, "
-              << result.cycles << " cycles, " << result.instructions
-              << " warp instructions\n\n";
+    std::cout << "Running BFS (RMAT scale 14, edge factor 8) on "
+                 "gf100-sim...\n";
+    const ExperimentRecord rec =
+        runExperiment(spec, [](Gpu &gpu, const ExperimentRecord &r) {
+            const Breakdown bd =
+                computeBreakdown(gpu.latencies().traces(), 48);
+            std::cout << "BFS " << (r.correct ? "PASSED" : "FAILED")
+                      << ": " << r.launches << " levels, "
+                      << r.cycles << " cycles, " << r.instructions
+                      << " warp instructions\n\n";
+            std::cout << "Figure 1: breakdown of per-bucket memory "
+                         "fetch latency into pipeline stages (BFS)\n"
+                      << "requests: " << bd.requests
+                      << ", latency range [" << bd.minLatency << ", "
+                      << bd.maxLatency << "]\n\n";
+            bd.printChart(std::cout);
 
-    const Breakdown bd =
-        computeBreakdown(gpu.latencies().traces(), 48);
-    std::cout << "Figure 1: breakdown of per-bucket memory fetch "
-                 "latency into pipeline stages (BFS)\n"
-              << "requests: " << bd.requests << ", latency range ["
-              << bd.minLatency << ", " << bd.maxLatency << "]\n\n";
-    bd.printChart(std::cout);
+            std::cout << "\nCSV:\n";
+            bd.printCsv(std::cout);
 
-    std::cout << "\nCSV:\n";
-    bd.printCsv(std::cout);
+            std::cout << "\nLoaded latency summary (dynamic Table-I "
+                         "counterpart):\n";
+            computeSummary(gpu.latencies().traces())
+                .print(std::cout);
 
-    std::cout << "\nLoaded latency summary (dynamic Table-I "
-                 "counterpart):\n";
-    computeSummary(gpu.latencies().traces()).print(std::cout);
+            std::cout << "\nTop latency contributors (aggregate "
+                         "cycles):\n";
+            for (Stage s : bd.rankedStages()) {
+                std::cout
+                    << "  " << toString(s) << ": "
+                    << bd.totalByStage[static_cast<std::size_t>(s)]
+                    << "\n";
+            }
+        });
 
-    std::cout << "\nTop latency contributors (aggregate cycles):\n";
-    for (Stage s : bd.rankedStages()) {
-        std::cout << "  " << toString(s) << ": "
-                  << bd.totalByStage[static_cast<std::size_t>(s)]
-                  << "\n";
-    }
-    return result.correct ? 0 : 1;
+    sinks.write(rec);
+    sinks.finish();
+    return rec.correct ? 0 : 1;
 }

@@ -6,64 +6,67 @@
  *
  * Expected shape (paper): the exposed fraction is significant,
  * sometimes close to 100%, and more than 50% for most buckets.
+ *
+ * Driven through the experiment API; the idle-cycle causes come
+ * from the record's epoch-aware aggregated counters instead of
+ * hand-summed per-SM raw reads.
  */
 
 #include <iostream>
 
-#include "gpu/gpu.hh"
+#include "api/experiment.hh"
 #include "latency/exposure.hh"
-#include "workloads/bfs.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace gpulat;
 
-    Gpu gpu(makeGF100Sim());
+    MultiSink sinks;
+    addOutputSinks(sinks, argc, argv);
 
-    Bfs::Options opts;
-    opts.kind = Bfs::GraphKind::Rmat;
-    opts.scale = 14;
-    opts.degree = 8;
-    Bfs bfs(opts);
+    ExperimentSpec spec;
+    spec.workload = "bfs";
+    spec.params = {"kind=rmat", "scale=14", "degree=8"};
 
-    std::cout << "Running BFS (RMAT scale " << opts.scale
-              << ") on " << gpu.config().name << "...\n";
-    const WorkloadResult result = bfs.run(gpu);
-    std::cout << "BFS " << (result.correct ? "PASSED" : "FAILED")
-              << ", " << result.launches << " levels\n\n";
+    std::cout << "Running BFS (RMAT scale 14) on gf100-sim...\n";
+    const ExperimentRecord rec =
+        runExperiment(spec, [](Gpu &gpu, const ExperimentRecord &r) {
+            std::cout << "BFS " << (r.correct ? "PASSED" : "FAILED")
+                      << ", " << r.launches << " levels\n\n";
+            const ExposureBreakdown eb =
+                computeExposure(gpu.exposure().records(), 48);
+            std::cout << "Figure 2: exposed vs hidden global load "
+                         "latency (BFS)\n"
+                      << "loads: " << eb.loads
+                      << ", latency range [" << eb.minLatency
+                      << ", " << eb.maxLatency << "]\n\n";
+            eb.printChart(std::cout);
 
-    const ExposureBreakdown eb =
-        computeExposure(gpu.exposure().records(), 48);
-    std::cout << "Figure 2: exposed vs hidden global load latency "
-                 "(BFS)\n"
-              << "loads: " << eb.loads << ", latency range ["
-              << eb.minLatency << ", " << eb.maxLatency << "]\n\n";
-    eb.printChart(std::cout);
+            std::cout << "\nCSV:\n";
+            eb.printCsv(std::cout);
 
-    std::cout << "\nCSV:\n";
-    eb.printCsv(std::cout);
+            std::cout << "\noverall exposed: "
+                      << eb.overallExposedPct()
+                      << "% of load latency\n"
+                      << "loads in >50%-exposed buckets: "
+                      << eb.fractionOfLoadsMostlyExposed() * 100.0
+                      << "%\n";
+        });
 
-    std::cout << "\noverall exposed: "
-              << eb.overallExposedPct() << "% of load latency\n"
-              << "loads in >50%-exposed buckets: "
-              << eb.fractionOfLoadsMostlyExposed() * 100.0 << "%\n";
+    // What the exposed cycles were waiting for, summed over SMs by
+    // collectRecord() (counters are per-epoch deltas).
+    auto counter = [&](const char *name) {
+        auto it = rec.counters.find(name);
+        return it == rec.counters.end() ? 0ull : it->second;
+    };
+    std::cout << "idle-cycle causes: memory "
+              << counter("idle_on_memory") << ", alu "
+              << counter("idle_on_alu") << ", lsu-full "
+              << counter("idle_on_lsu") << ", barrier "
+              << counter("idle_on_barrier") << "\n";
 
-    // What the exposed cycles were waiting for, summed over SMs.
-    std::uint64_t on_mem = 0;
-    std::uint64_t on_alu = 0;
-    std::uint64_t on_lsu = 0;
-    std::uint64_t on_bar = 0;
-    for (unsigned s = 0; s < gpu.config().numSms; ++s) {
-        const std::string prefix = "sm" + std::to_string(s);
-        on_mem += gpu.stats().counterValue(prefix + ".idle_on_memory");
-        on_alu += gpu.stats().counterValue(prefix + ".idle_on_alu");
-        on_lsu += gpu.stats().counterValue(prefix + ".idle_on_lsu");
-        on_bar += gpu.stats().counterValue(prefix +
-                                           ".idle_on_barrier");
-    }
-    std::cout << "idle-cycle causes: memory " << on_mem << ", alu "
-              << on_alu << ", lsu-full " << on_lsu << ", barrier "
-              << on_bar << "\n";
-    return result.correct ? 0 : 1;
+    sinks.write(rec);
+    sinks.finish();
+    return rec.correct ? 0 : 1;
 }

@@ -5,70 +5,52 @@
  * behind the paper's conclusion that "latency should also be a GPU
  * design consideration besides throughput". If GPUs hid latency
  * perfectly, runtime would not move; it does.
+ *
+ * Driven through the experiment API's sweep expansion: one spec
+ * with a comma-listed icntLatency override fans out to the five
+ * sweep points.
  */
 
 #include <iostream>
+#include <vector>
 
-#include "common/table.hh"
-#include "gpu/gpu.hh"
-#include "latency/exposure.hh"
-#include "workloads/bfs.hh"
-#include "workloads/compute_stream.hh"
-
-namespace {
-
-template <typename MakeWorkload>
-void
-sweep(const std::string &label, MakeWorkload make,
-      gpulat::TextTable &table)
-{
-    using namespace gpulat;
-    for (Cycle icnt : {10u, 20u, 40u, 80u, 160u}) {
-        GpuConfig cfg = makeGF100Sim();
-        cfg.icntLatency = icnt;
-        Gpu gpu(cfg);
-        auto workload = make();
-        const WorkloadResult result = workload->run(gpu);
-        const ExposureBreakdown eb =
-            computeExposure(gpu.exposure().records(), 48);
-        table.addRow({label + (result.correct ? "" : " (FAILED)"),
-                      std::to_string(icnt),
-                      std::to_string(result.cycles),
-                      formatDouble(eb.overallExposedPct(), 1)});
-    }
-}
-
-} // namespace
+#include "api/experiment.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace gpulat;
 
-    TextTable table({"workload", "icnt latency", "cycles",
-                     "exposed %"});
+    MultiSink sinks;
+    sinks.add(std::make_unique<TextTableSink>(std::cout));
+    addOutputSinks(sinks, argc, argv);
 
-    sweep("bfs",
-          [] {
-              Bfs::Options opts;
-              opts.kind = Bfs::GraphKind::Rmat;
-              opts.scale = 13;
-              return std::make_unique<Bfs>(opts);
-          },
-          table);
-    sweep("compute_stream",
-          [] {
-              ComputeStream::Options opts;
-              opts.n = 1 << 15;
-              opts.fmaDepth = 32;
-              return std::make_unique<ComputeStream>(opts);
-          },
-          table);
+    const struct
+    {
+        const char *workload;
+        std::vector<std::string> params;
+    } cells[] = {
+        {"bfs", {"scale=13"}},
+        {"compute_stream", {"n=32768", "fmaDepth=32"}},
+    };
+
+    bool all_correct = true;
+    for (const auto &cell : cells) {
+        ExperimentSpec spec;
+        spec.workload = cell.workload;
+        spec.params = cell.params;
+        spec.overrides = {"icntLatency=10,20,40,80,160"};
+        for (const ExperimentSpec &point : expandSweep(spec)) {
+            const ExperimentRecord rec = runExperiment(point);
+            all_correct = all_correct && rec.correct;
+            sinks.write(rec);
+        }
+    }
 
     std::cout << "Interconnect latency ablation (GF100-sim)\n\n";
-    table.print(std::cout);
+    sinks.finish();
     std::cout << "\nexpected shape: BFS runtime degrades steeply "
                  "with added latency (exposed); the compute-heavy "
                  "stream degrades far less (hidden).\n";
-    return 0;
+    return all_correct ? 0 : 1;
 }

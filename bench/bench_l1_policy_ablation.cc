@@ -4,103 +4,64 @@
  * exposes — Fermi caches global loads in the L1, Kepler restricts
  * the L1 to local data, Maxwell drops it — replayed on one machine.
  * Same GF100-sim chip, three L1 policies, same workloads.
+ *
+ * Driven through the experiment API: each policy is a pair of
+ * config overrides on the same preset.
  */
 
 #include <iostream>
+#include <vector>
 
-#include "common/table.hh"
-#include "gpu/gpu.hh"
-#include "workloads/bfs.hh"
-#include "workloads/spmv.hh"
-#include "workloads/stencil.hh"
-
-namespace {
-
-struct Policy
-{
-    const char *name;
-    bool l1Enabled;
-    bool l1Global;
-};
-
-} // namespace
+#include "api/experiment.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace gpulat;
 
-    const Policy policies[] = {
-        {"fermi (L1 global+local)", true, true},
-        {"kepler (L1 local-only)", true, false},
-        {"maxwell (no L1)", false, false},
+    MultiSink sinks;
+    sinks.add(std::make_unique<TextTableSink>(
+        std::cout, std::vector<std::string>{"l1_hit_pct"}));
+    addOutputSinks(sinks, argc, argv);
+
+    const std::vector<std::vector<std::string>> policies = {
+        // fermi: L1 caches global+local (the preset default)
+        {"sm.l1Enabled=true", "sm.l1CachesGlobal=true"},
+        // kepler: L1 local-only
+        {"sm.l1Enabled=true", "sm.l1CachesGlobal=false"},
+        // maxwell: no L1 at all
+        {"sm.l1Enabled=false"},
     };
 
-    TextTable table({"workload", "L1 policy", "cycles",
-                     "mean load lat", "L1 hit %"});
+    const struct
+    {
+        const char *workload;
+        std::vector<std::string> params;
+    } cells[] = {
+        {"bfs", {"scale=13"}},
+        {"spmv", {"rows=4096"}},
+        {"stencil2d", {"width=256", "height=128"}},
+    };
 
-    auto run_workload = [&](const std::string &label,
-                            auto make_workload) {
-        for (const Policy &policy : policies) {
-            GpuConfig cfg = makeGF100Sim();
-            cfg.sm.l1Enabled = policy.l1Enabled;
-            cfg.sm.l1CachesGlobal = policy.l1Global;
-            Gpu gpu(cfg);
-            auto workload = make_workload();
-            const WorkloadResult result = workload->run(gpu);
-
-            double sum = 0.0;
-            for (const auto &t : gpu.latencies().traces())
-                sum += static_cast<double>(t.total());
-            const double mean = gpu.latencies().count()
-                ? sum / static_cast<double>(gpu.latencies().count())
-                : 0.0;
-
-            std::uint64_t hits = 0;
-            std::uint64_t misses = 0;
-            if (policy.l1Enabled) {
-                for (unsigned s = 0; s < cfg.numSms; ++s) {
-                    hits += gpu.sm(s).l1()->hits();
-                    misses += gpu.sm(s).l1()->misses();
-                }
-            }
-            const double hit_pct = hits + misses
-                ? 100.0 * static_cast<double>(hits) /
-                      static_cast<double>(hits + misses)
-                : 0.0;
-
-            table.addRow({label + (result.correct ? "" : " (FAILED)"),
-                          policy.name,
-                          std::to_string(result.cycles),
-                          formatDouble(mean, 1),
-                          formatDouble(hit_pct, 1)});
+    bool all_correct = true;
+    for (const auto &cell : cells) {
+        for (const auto &policy : policies) {
+            ExperimentSpec spec;
+            spec.workload = cell.workload;
+            spec.params = cell.params;
+            spec.overrides = policy;
+            const ExperimentRecord rec = runExperiment(spec);
+            all_correct = all_correct && rec.correct;
+            sinks.write(rec);
         }
-    };
-
-    run_workload("bfs", [] {
-        Bfs::Options opts;
-        opts.kind = Bfs::GraphKind::Rmat;
-        opts.scale = 13;
-        return std::make_unique<Bfs>(opts);
-    });
-    run_workload("spmv", [] {
-        SpMV::Options opts;
-        opts.rows = 1 << 12;
-        return std::make_unique<SpMV>(opts);
-    });
-    run_workload("stencil2d", [] {
-        Stencil2D::Options opts;
-        opts.width = 256;
-        opts.height = 128;
-        return std::make_unique<Stencil2D>(opts);
-    });
+    }
 
     std::cout << "L1 policy ablation (GF100-sim): the Fermi -> "
                  "Kepler -> Maxwell global-memory L1 retreat\n\n";
-    table.print(std::cout);
+    sinks.finish();
     std::cout << "\nexpected shape: removing the L1 from the global "
                  "path raises mean load latency (every access "
                  "starts at the L2, exactly Table I's Kepler/"
                  "Maxwell observation).\n";
-    return 0;
+    return all_correct ? 0 : 1;
 }

@@ -5,15 +5,18 @@
  * paper's framing that GPUs hide latency through thread-level
  * parallelism — and its point that even a throughput architecture
  * leaves much of BFS's latency exposed.
+ *
+ * Driven through the experiment API; each sweep point derives its
+ * block size / blocks-per-SM from the warp count, so the points
+ * are built programmatically rather than from one comma list.
  */
 
+#include <algorithm>
 #include <iostream>
+#include <string>
 
-#include "common/table.hh"
-#include "gpu/gpu.hh"
-#include "latency/exposure.hh"
-#include "workloads/bfs.hh"
-#include "workloads/vecadd.hh"
+#include "api/experiment.hh"
+#include "common/types.hh"
 
 namespace {
 
@@ -24,68 +27,51 @@ blockSize(unsigned warps)
     return std::min(256u, warps * gpulat::kWarpSize);
 }
 
-template <typename MakeWorkload>
-void
-sweep(const std::string &label, MakeWorkload make,
-      gpulat::TextTable &table)
-{
-    using namespace gpulat;
-    for (unsigned warps : {1u, 2u, 4u, 8u, 16u, 32u, 48u}) {
-        GpuConfig cfg = makeGF100Sim();
-        cfg.sm.warpSlots = warps;
-        cfg.sm.maxBlocksPerSm =
-            std::max(1u, warps * kWarpSize / blockSize(warps));
-        Gpu gpu(cfg);
-        auto workload = make(blockSize(warps));
-        const WorkloadResult result = workload->run(gpu);
-        const ExposureBreakdown eb =
-            computeExposure(gpu.exposure().records(), 48);
-        const double ipc = result.cycles
-            ? static_cast<double>(result.instructions) /
-                  static_cast<double>(result.cycles)
-            : 0.0;
-        table.addRow({label + (result.correct ? "" : " (FAILED)"),
-                      std::to_string(warps),
-                      std::to_string(result.cycles),
-                      formatDouble(eb.overallExposedPct(), 1),
-                      formatDouble(ipc, 2)});
-    }
-}
-
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace gpulat;
 
-    TextTable table({"workload", "warps/SM", "cycles", "exposed %",
-                     "IPC"});
+    MultiSink sinks;
+    sinks.add(std::make_unique<TextTableSink>(std::cout));
+    addOutputSinks(sinks, argc, argv);
 
-    sweep("vecadd",
-          [](unsigned tpb) {
-              VecAdd::Options opts;
-              opts.n = 1 << 16;
-              opts.threadsPerBlock = tpb;
-              return std::make_unique<VecAdd>(opts);
-          },
-          table);
+    const struct
+    {
+        const char *workload;
+        std::vector<std::string> params;
+    } cells[] = {
+        {"vecadd", {"n=65536"}},
+        {"bfs", {"kind=rmat", "scale=13"}},
+    };
 
-    sweep("bfs",
-          [](unsigned tpb) {
-              Bfs::Options opts;
-              opts.kind = Bfs::GraphKind::Rmat;
-              opts.scale = 13;
-              opts.threadsPerBlock = tpb;
-              return std::make_unique<Bfs>(opts);
-          },
-          table);
+    bool all_correct = true;
+    for (const auto &cell : cells) {
+        for (unsigned warps : {1u, 2u, 4u, 8u, 16u, 32u, 48u}) {
+            const unsigned tpb = blockSize(warps);
+            ExperimentSpec spec;
+            spec.workload = cell.workload;
+            spec.params = cell.params;
+            spec.params.push_back("threadsPerBlock=" +
+                                  std::to_string(tpb));
+            spec.overrides = {
+                "sm.warpSlots=" + std::to_string(warps),
+                "sm.maxBlocksPerSm=" +
+                    std::to_string(
+                        std::max(1u, warps * kWarpSize / tpb))};
+            const ExperimentRecord rec = runExperiment(spec);
+            all_correct = all_correct && rec.correct;
+            sinks.write(rec);
+        }
+    }
 
     std::cout << "Latency hiding vs warps per SM (GF100-sim)\n\n";
-    table.print(std::cout);
+    sinks.finish();
     std::cout << "\nexpected shape: exposure falls and IPC rises "
                  "with more warps; vecadd hides almost everything "
                  "at high occupancy while BFS stays substantially "
                  "exposed (the paper's headline finding).\n";
-    return 0;
+    return all_correct ? 0 : 1;
 }

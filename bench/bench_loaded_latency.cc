@@ -5,67 +5,46 @@
  * concurrently-streaming blocks; latency rises from its idle value
  * toward the queueing-dominated regime — the static->dynamic
  * latency transition the paper's two halves straddle.
+ *
+ * Driven through the experiment API: offered load is a comma-listed
+ * `n` sweep (n = blocks x 256 threads); the queueing/arbitration
+ * shares come from the record's per-stage metrics.
  */
 
 #include <iostream>
 
-#include "common/table.hh"
-#include "gpu/gpu.hh"
-#include "latency/breakdown.hh"
-#include "workloads/vecadd.hh"
+#include "api/experiment.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace gpulat;
 
-    TextTable table({"blocks", "threads", "mean load lat",
-                     "p.. L1toICNT %", "DRAM QtoSch %", "cycles"});
+    MultiSink sinks;
+    sinks.add(std::make_unique<TextTableSink>(
+        std::cout,
+        std::vector<std::string>{"requests", "stage_pct.l1toicnt",
+                                 "stage_pct.dram_qtosch"}));
+    addOutputSinks(sinks, argc, argv);
 
-    for (unsigned blocks : {1u, 2u, 4u, 8u, 16u, 32u, 64u, 128u}) {
-        GpuConfig cfg = makeGF100Sim();
-        Gpu gpu(cfg);
+    // 1..128 blocks of 256 threads.
+    ExperimentSpec spec;
+    spec.workload = "vecadd";
+    spec.params = {"n=256,512,1024,2048,4096,8192,16384,32768",
+                   "threadsPerBlock=256"};
 
-        VecAdd::Options opts;
-        opts.n = static_cast<std::uint64_t>(blocks) * 256;
-        opts.threadsPerBlock = 256;
-        VecAdd workload(opts);
-        const WorkloadResult result = workload.run(gpu);
-
-        const Breakdown bd =
-            computeBreakdown(gpu.latencies().traces(), 48);
-        double sum = 0.0;
-        for (const auto &t : gpu.latencies().traces())
-            sum += static_cast<double>(t.total());
-        const double mean = gpu.latencies().count()
-            ? sum / static_cast<double>(gpu.latencies().count())
-            : 0.0;
-
-        std::uint64_t total = 0;
-        for (auto v : bd.totalByStage)
-            total += v;
-        auto pct = [&](Stage s) {
-            return total == 0
-                ? 0.0
-                : 100.0 *
-                  static_cast<double>(bd.totalByStage[
-                      static_cast<std::size_t>(s)]) /
-                  static_cast<double>(total);
-        };
-
-        table.addRow({std::to_string(blocks),
-                      std::to_string(blocks * 256),
-                      formatDouble(mean, 1),
-                      formatDouble(pct(Stage::L1ToIcnt), 1),
-                      formatDouble(pct(Stage::DramQToSched), 1),
-                      std::to_string(result.cycles)});
+    bool all_correct = true;
+    for (const ExperimentSpec &point : expandSweep(spec)) {
+        const ExperimentRecord rec = runExperiment(point);
+        all_correct = all_correct && rec.correct;
+        sinks.write(rec);
     }
 
     std::cout << "Loaded latency: streaming load latency vs offered "
                  "load (GF100-sim)\n\n";
-    table.print(std::cout);
+    sinks.finish();
     std::cout << "\nexpected shape: latency starts near the idle "
                  "DRAM value and grows as queueing/arbitration "
                  "components inflate under load.\n";
-    return 0;
+    return all_correct ? 0 : 1;
 }

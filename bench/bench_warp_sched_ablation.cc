@@ -3,45 +3,41 @@
  * Warp scheduler ablation: LRR vs GTO on every workload — how much
  * of load latency each policy manages to hide (extension experiment
  * motivated by the paper's latency-hiding discussion).
+ *
+ * Driven through the experiment API: the sweep is one spec per
+ * (policy, workload) cell; `--json FILE` / `--csv FILE` emit
+ * machine-readable records.
  */
 
 #include <iostream>
 
-#include "common/table.hh"
-#include "gpu/gpu.hh"
-#include "latency/exposure.hh"
-#include "workloads/workload.hh"
+#include "api/experiment.hh"
+#include "api/workload_registry.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace gpulat;
 
-    TextTable table({"workload", "warp sched", "cycles",
-                     "exposed %", "IPC"});
+    MultiSink sinks;
+    sinks.add(std::make_unique<TextTableSink>(std::cout));
+    addOutputSinks(sinks, argc, argv);
 
-    for (auto policy : {SchedPolicy::LRR, SchedPolicy::GTO}) {
-        for (auto &workload : makeAllWorkloads(1.0)) {
-            GpuConfig cfg = makeGF100Sim();
-            cfg.sm.schedPolicy = policy;
-            Gpu gpu(cfg);
-            const WorkloadResult result = workload->run(gpu);
-            const ExposureBreakdown eb =
-                computeExposure(gpu.exposure().records(), 48);
-            const double ipc = result.cycles
-                ? static_cast<double>(result.instructions) /
-                      static_cast<double>(result.cycles)
-                : 0.0;
-            table.addRow({workload->name() +
-                              (result.correct ? "" : " (FAILED)"),
-                          toString(policy),
-                          std::to_string(result.cycles),
-                          formatDouble(eb.overallExposedPct(), 1),
-                          formatDouble(ipc, 2)});
+    bool all_correct = true;
+    for (const char *policy : {"lrr", "gto"}) {
+        for (const std::string &name :
+             WorkloadRegistry::instance().names()) {
+            ExperimentSpec spec;
+            spec.workload = name;
+            spec.overrides = {std::string("sm.schedPolicy=") +
+                              policy};
+            const ExperimentRecord rec = runExperiment(spec);
+            all_correct = all_correct && rec.correct;
+            sinks.write(rec);
         }
     }
 
     std::cout << "Warp scheduler ablation (GF100-sim): LRR vs GTO\n\n";
-    table.print(std::cout);
-    return 0;
+    sinks.finish();
+    return all_correct ? 0 : 1;
 }

@@ -4,57 +4,64 @@
  * showed queueing and arbitration as the two key latency
  * contributors": runs every workload on the GF100-like config and
  * prints each one's aggregate stage contributions, ranked.
+ *
+ * Driven through the experiment API: the ranking reads the
+ * record's per-stage `stage_pct.*` metrics.
  */
 
+#include <algorithm>
 #include <iostream>
 
+#include "api/experiment.hh"
+#include "api/workload_registry.hh"
 #include "common/table.hh"
-#include "gpu/gpu.hh"
-#include "latency/breakdown.hh"
-#include "workloads/workload.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace gpulat;
+
+    MultiSink sinks;
+    addOutputSinks(sinks, argc, argv);
 
     TextTable table({"workload", "correct", "requests", "#1 stage",
                      "#2 stage", "#1 %", "#2 %"});
     bool all_correct = true;
 
-    for (auto &workload : makeAllWorkloads(1.0)) {
-        Gpu gpu(makeGF100Sim());
-        const WorkloadResult result = workload->run(gpu);
-        all_correct = all_correct && result.correct;
+    for (const std::string &name :
+         WorkloadRegistry::instance().names()) {
+        ExperimentSpec spec;
+        spec.workload = name;
+        const ExperimentRecord rec = runExperiment(spec);
+        all_correct = all_correct && rec.correct;
+        sinks.write(rec);
 
-        const Breakdown bd =
-            computeBreakdown(gpu.latencies().traces(), 48);
-        const auto ranked = bd.rankedStages();
-        std::uint64_t total = 0;
-        for (auto v : bd.totalByStage)
-            total += v;
-        auto pct = [&](Stage s) {
-            return total == 0
-                ? 0.0
-                : 100.0 *
-                  static_cast<double>(
-                      bd.totalByStage[static_cast<std::size_t>(s)]) /
-                  static_cast<double>(total);
-        };
+        // Rank the stages by their share of aggregate fetch latency.
+        std::vector<std::pair<std::string, double>> stages;
+        const std::string prefix = "stage_pct.";
+        for (const auto &[key, value] : rec.metrics) {
+            if (key.rfind(prefix, 0) == 0)
+                stages.emplace_back(key.substr(prefix.size()),
+                                    value);
+        }
+        std::sort(stages.begin(), stages.end(),
+                  [](const auto &a, const auto &b) {
+                      return a.second > b.second;
+                  });
 
-        table.addRow({workload->name(),
-                      result.correct ? "yes" : "NO",
-                      std::to_string(bd.requests),
-                      toString(ranked[0]), toString(ranked[1]),
-                      formatDouble(pct(ranked[0]), 1),
-                      formatDouble(pct(ranked[1]), 1)});
+        table.addRow({name, rec.correct ? "yes" : "NO",
+                      formatDouble(rec.metric("requests"), 0),
+                      stages[0].first, stages[1].first,
+                      formatDouble(stages[0].second, 1),
+                      formatDouble(stages[1].second, 1)});
     }
 
     std::cout << "Per-workload top latency contributors "
                  "(GF100-sim)\n\n";
     table.print(std::cout);
-    std::cout << "\npaper claim: queueing (L1toICNT) and DRAM "
-                 "arbitration (DRAM QtoSch) dominate long "
+    sinks.finish();
+    std::cout << "\npaper claim: queueing (l1toicnt) and DRAM "
+                 "arbitration (dram_qtosch) dominate long "
                  "latencies across workloads.\n";
     return all_correct ? 0 : 1;
 }

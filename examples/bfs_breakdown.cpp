@@ -3,46 +3,44 @@
  * BFS latency anatomy: runs the paper's exemplary workload on the
  * GF100-like GPU and prints (a) the Figure-1-style stage breakdown
  * chart, (b) the Figure-2-style exposure chart, and (c) summary
- * statistics — all from one simulation.
+ * statistics — all from one simulation, driven through the
+ * experiment API.
  */
 
 #include <iostream>
 
-#include "gpu/gpu.hh"
+#include "api/experiment.hh"
 #include "latency/breakdown.hh"
 #include "latency/exposure.hh"
-#include "workloads/bfs.hh"
 
 int
 main()
 {
     using namespace gpulat;
 
-    Gpu gpu(makeGF100Sim());
+    ExperimentSpec spec;
+    spec.workload = "bfs";
+    spec.params = {"kind=rmat", "scale=13", "degree=8"};
 
-    Bfs::Options opts;
-    opts.kind = Bfs::GraphKind::Rmat;
-    opts.scale = 13;
-    opts.degree = 8;
-    Bfs bfs(opts);
+    const ExperimentRecord rec = runExperiment(
+        spec, [](Gpu &gpu, const ExperimentRecord &r) {
+            std::cout << "BFS on " << r.gpu << ": "
+                      << (r.correct ? "correct" : "WRONG") << ", "
+                      << r.launches << " levels in " << r.cycles
+                      << " cycles\n\n";
 
-    const WorkloadResult result = bfs.run(gpu);
-    std::cout << "BFS on " << gpu.config().name << ": "
-              << (result.correct ? "correct" : "WRONG") << ", "
-              << result.launches << " levels in " << result.cycles
-              << " cycles\n\n";
+            std::cout << "--- memory fetch latency breakdown "
+                         "(fig. 1) ---\n";
+            computeBreakdown(gpu.latencies().traces(), 24)
+                .printChart(std::cout);
 
-    const Breakdown bd =
-        computeBreakdown(gpu.latencies().traces(), 24);
-    std::cout << "--- memory fetch latency breakdown (fig. 1) ---\n";
-    bd.printChart(std::cout);
+            std::cout << "\n--- exposed vs hidden load latency "
+                         "(fig. 2) ---\n";
+            computeExposure(gpu.exposure().records(), 24)
+                .printChart(std::cout);
+        });
 
-    const ExposureBreakdown eb =
-        computeExposure(gpu.exposure().records(), 24);
-    std::cout << "\n--- exposed vs hidden load latency (fig. 2) ---\n";
-    eb.printChart(std::cout);
-
-    std::cout << "\noverall exposed: " << eb.overallExposedPct()
+    std::cout << "\noverall exposed: " << rec.metric("exposed_pct")
               << "%\n";
-    return result.correct ? 0 : 1;
+    return rec.correct ? 0 : 1;
 }

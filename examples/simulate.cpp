@@ -1,174 +1,54 @@
 /**
  * @file
- * gpulat command-line driver: run any built-in workload on any GPU
- * preset and print the latency reports.
+ * The experiment API from C++: what the `gpulat` CLI does, driven
+ * programmatically — declare a spec (preset + overrides + workload
+ * + params), run it, then reuse the live Gpu for custom reports
+ * and fan the records out to sinks.
  *
- *     simulate [--config gf100-sim] [--workload bfs]
- *              [--warps N] [--dram-sched fcfs|frfcfs]
- *              [--warp-sched lrr|gto] [--icnt-latency N]
- *              [--buckets N] [--report summary|fig1|fig2|all]
- *              [--stats] [--list]
+ * For the scriptable version of this program, see the `gpulat`
+ * binary: `gpulat run --gpu gf100sim --workload bfs scale=12
+ * --set sm.warpSlots=16 --json out.json`.
  */
 
-#include <cstring>
 #include <iostream>
-#include <string>
 
-#include "common/table.hh"
-#include "gpu/gpu.hh"
-#include "latency/breakdown.hh"
-#include "latency/exposure.hh"
+#include "api/experiment.hh"
 #include "latency/summary.hh"
-#include "workloads/workload.hh"
-
-namespace {
-
-using namespace gpulat;
 
 int
-usage(const char *argv0)
+main()
 {
-    std::cerr
-        << "usage: " << argv0 << " [options]\n"
-        << "  --config NAME     gt200|gf106|gk104|gm107|gf100-sim\n"
-        << "  --workload NAME   see --list\n"
-        << "  --warps N         warp slots per SM\n"
-        << "  --dram-sched P    fcfs|frfcfs\n"
-        << "  --warp-sched P    lrr|gto\n"
-        << "  --icnt-latency N  crossbar traversal cycles\n"
-        << "  --buckets N       latency buckets (default 48)\n"
-        << "  --report KIND     summary|fig1|fig2|all\n"
-        << "  --stats           dump raw counters\n"
-        << "  --list            list workloads and exit\n";
-    return 2;
-}
+    using namespace gpulat;
 
-} // namespace
+    // One experiment cell: BFS on the GF100-like machine with the
+    // SM starved to 16 warp slots.
+    ExperimentSpec spec;
+    spec.gpu = "gf100-sim";
+    spec.workload = "bfs";
+    spec.params = {"kind=rmat", "scale=12"};
+    spec.overrides = {"sm.warpSlots=16"};
 
-int
-main(int argc, char **argv)
-{
-    std::string config_name = "gf100-sim";
-    std::string workload_name = "bfs";
-    std::string report = "summary";
-    unsigned warps = 0;
-    unsigned icnt = 0;
-    std::size_t buckets = 48;
-    std::string dram_sched;
-    std::string warp_sched;
-    bool dump_stats = false;
-    bool list = false;
+    // The inspect hook sees the still-live Gpu after the run, for
+    // reports that need raw traces.
+    const ExperimentRecord rec = runExperiment(
+        spec, [](Gpu &gpu, const ExperimentRecord &) {
+            std::cout << "--- loaded latency summary ---\n";
+            computeSummary(gpu.latencies().traces())
+                .print(std::cout);
+            std::cout << "\n";
+        });
 
-    for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
-        auto next = [&]() -> const char * {
-            if (i + 1 >= argc) {
-                std::cerr << arg << " needs a value\n";
-                std::exit(2);
-            }
-            return argv[++i];
-        };
-        if (arg == "--config") {
-            config_name = next();
-        } else if (arg == "--workload") {
-            workload_name = next();
-        } else if (arg == "--warps") {
-            warps = static_cast<unsigned>(std::stoul(next()));
-        } else if (arg == "--icnt-latency") {
-            icnt = static_cast<unsigned>(std::stoul(next()));
-        } else if (arg == "--buckets") {
-            buckets = std::stoul(next());
-        } else if (arg == "--dram-sched") {
-            dram_sched = next();
-        } else if (arg == "--warp-sched") {
-            warp_sched = next();
-        } else if (arg == "--report") {
-            report = next();
-        } else if (arg == "--stats") {
-            dump_stats = true;
-        } else if (arg == "--list") {
-            list = true;
-        } else {
-            return usage(argv[0]);
-        }
-    }
+    // Records carry schema-stable metrics...
+    std::cout << "cycles: " << rec.cycles
+              << ", IPC: " << rec.metric("ipc")
+              << ", exposed: " << rec.metric("exposed_pct")
+              << "%\n\n";
 
-    auto workloads = makeAllWorkloads(1.0);
-    if (list) {
-        for (const auto &w : workloads)
-            std::cout << w->name() << "\n";
-        return 0;
-    }
+    // ...and render through any sink (JSON here; TextTableSink and
+    // CsvSink take the same records).
+    JsonSink json(std::cout);
+    json.write(rec);
+    json.finish();
 
-    Workload *workload = nullptr;
-    for (const auto &w : workloads)
-        if (w->name() == workload_name)
-            workload = w.get();
-    if (!workload) {
-        std::cerr << "unknown workload '" << workload_name
-                  << "' (try --list)\n";
-        return 2;
-    }
-
-    GpuConfig cfg;
-    try {
-        cfg = makeConfig(config_name);
-    } catch (const FatalError &e) {
-        std::cerr << e.what() << "\n";
-        return 2;
-    }
-    if (warps)
-        cfg.sm.warpSlots = warps;
-    if (icnt)
-        cfg.icntLatency = icnt;
-    if (!dram_sched.empty()) {
-        cfg.partition.sched = dram_sched == "fcfs"
-            ? DramSchedPolicy::FCFS
-            : DramSchedPolicy::FRFCFS;
-    }
-    if (!warp_sched.empty()) {
-        cfg.sm.schedPolicy = warp_sched == "lrr" ? SchedPolicy::LRR
-                                                 : SchedPolicy::GTO;
-    }
-
-    Gpu gpu(cfg);
-    std::cout << "running '" << workload->name() << "' on "
-              << cfg.name << " (" << cfg.numSms << " SMs, "
-              << cfg.numPartitions << " partitions, "
-              << cfg.sm.warpSlots << " warps/SM)\n";
-    const WorkloadResult result = workload->run(gpu);
-    const double ipc = result.cycles
-        ? static_cast<double>(result.instructions) /
-              static_cast<double>(result.cycles)
-        : 0.0;
-    std::cout << (result.correct ? "PASSED" : "FAILED") << ": "
-              << result.cycles << " cycles, " << result.instructions
-              << " instructions (IPC " << formatDouble(ipc, 2)
-              << "), " << result.launches << " launches, "
-              << gpu.latencies().count() << " memory requests\n\n";
-
-    if (report == "summary" || report == "all") {
-        std::cout << "--- loaded latency summary ---\n";
-        computeSummary(gpu.latencies().traces()).print(std::cout);
-        std::cout << "\n";
-    }
-    if (report == "fig1" || report == "all") {
-        std::cout << "--- stage breakdown (paper fig. 1) ---\n";
-        computeBreakdown(gpu.latencies().traces(), buckets)
-            .printChart(std::cout);
-        std::cout << "\n";
-    }
-    if (report == "fig2" || report == "all") {
-        std::cout << "--- exposed vs hidden (paper fig. 2) ---\n";
-        const auto eb =
-            computeExposure(gpu.exposure().records(), buckets);
-        eb.printChart(std::cout);
-        std::cout << "overall exposed: "
-                  << formatDouble(eb.overallExposedPct(), 1)
-                  << "%\n\n";
-    }
-    if (dump_stats)
-        gpu.stats().dump(std::cout);
-
-    return result.correct ? 0 : 1;
+    return rec.correct ? 0 : 1;
 }

@@ -1,0 +1,309 @@
+#include "api/cli.hh"
+
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/config_override.hh"
+#include "api/experiment.hh"
+#include "api/workload_registry.hh"
+#include "common/log.hh"
+#include "common/table.hh"
+#include "latency/breakdown.hh"
+#include "latency/exposure.hh"
+#include "latency/summary.hh"
+
+namespace gpulat {
+
+namespace {
+
+int
+usage(std::ostream &err)
+{
+    err << "usage: gpulat <command> [options]\n"
+           "\n"
+           "commands:\n"
+           "  list [workloads|gpus|keys]   what can be run/overridden\n"
+           "  run    run one experiment\n"
+           "  sweep  run a sweep (comma-separated values expand to\n"
+           "         the cartesian product)\n"
+           "\n"
+           "run/sweep options:\n"
+           "  --gpu NAME         config preset (default gf100-sim)\n"
+           "  --workload NAME    registered workload\n"
+           "  key=value          workload parameter (positional)\n"
+           "  --set path=value   config override (repeatable)\n"
+           "  --scale S          shrink workload defaults, (0,1]\n"
+           "  --json FILE|-      write JSON records\n"
+           "  --csv FILE|-       write CSV records\n"
+           "  --no-table         suppress the text table\n"
+           "  --report KIND      summary|fig1|fig2|all per-run "
+           "latency reports\n"
+           "  --buckets N        report latency buckets "
+           "(default 48)\n"
+           "  --stats            dump raw per-unit counters per "
+           "run\n"
+           "\n"
+           "examples:\n"
+           "  gpulat run --gpu gf100sim --workload bfs scale=12\n"
+           "  gpulat run --workload vecadd n=4096 "
+           "--set sm.warpSlots=16 --json out.json\n"
+           "  gpulat sweep --workload bfs "
+           "--set sm.warpSlots=1,2,4,8,16,32,48\n";
+    return 2;
+}
+
+void
+listWorkloads(std::ostream &out)
+{
+    out << "workloads:\n";
+    const WorkloadRegistry &reg = WorkloadRegistry::instance();
+    for (const std::string &name : reg.names()) {
+        const WorkloadEntry *entry = reg.find(name);
+        out << "  " << name << " — " << entry->description << "\n";
+        for (const WorkloadParamSpec &p : entry->params) {
+            out << "      " << p.name << " (default "
+                << p.defaultValue << "): " << p.help << "\n";
+        }
+    }
+}
+
+void
+listGpus(std::ostream &out)
+{
+    out << "gpu presets:\n";
+    for (const std::string &name : configNames()) {
+        const GpuConfig cfg = makeConfig(name);
+        out << "  " << name << " — " << cfg.numSms << " SMs, "
+            << cfg.numPartitions << " partitions, "
+            << cfg.sm.warpSlots << " warps/SM\n";
+    }
+}
+
+void
+listKeys(std::ostream &out)
+{
+    out << "config override keys (--set path=value):\n";
+    const GpuConfig defaults = makeConfig("gf100-sim");
+    for (const ConfigKey &key : configKeys()) {
+        out << "  " << key.path << " (" << key.type
+            << ", gf100-sim: " << key.get(defaults) << ")\n";
+    }
+}
+
+double
+parseDouble(const std::string &flag, const std::string &text)
+{
+    char *end = nullptr;
+    const double v = std::strtod(text.c_str(), &end);
+    if (end == text.c_str() || *end != '\0')
+        fatal("'", flag, "' needs a number, got '", text, "'");
+    return v;
+}
+
+std::size_t
+parseSize(const std::string &flag, const std::string &text)
+{
+    char *end = nullptr;
+    const unsigned long long v =
+        std::strtoull(text.c_str(), &end, 10);
+    if (text.empty() || text[0] == '-' || end == text.c_str() ||
+        *end != '\0')
+        fatal("'", flag, "' needs a non-negative integer, got '",
+              text, "'");
+    return static_cast<std::size_t>(v);
+}
+
+struct CliOptions
+{
+    ExperimentSpec spec;
+    std::vector<std::string> jsonOuts;
+    std::vector<std::string> csvOuts;
+    bool table = true;
+    std::string report;
+    std::size_t buckets = 48;
+    bool dumpStats = false;
+};
+
+/** Parse run/sweep arguments; returns false after printing usage. */
+bool
+parseRunArgs(const std::vector<std::string> &args, CliOptions &opts,
+             std::ostream &err)
+{
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string &arg = args[i];
+        auto next = [&]() -> const std::string & {
+            if (i + 1 >= args.size())
+                fatal("option '", arg, "' needs a value");
+            return args[++i];
+        };
+        if (arg == "--gpu") {
+            opts.spec.gpu = next();
+        } else if (arg == "--workload") {
+            opts.spec.workload = next();
+        } else if (arg == "--set") {
+            opts.spec.overrides.push_back(next());
+        } else if (arg == "--scale") {
+            opts.spec.scale = parseDouble(arg, next());
+        } else if (arg == "--json") {
+            opts.jsonOuts.push_back(next());
+        } else if (arg == "--csv") {
+            opts.csvOuts.push_back(next());
+        } else if (arg == "--no-table") {
+            opts.table = false;
+        } else if (arg == "--report") {
+            opts.report = next();
+        } else if (arg == "--buckets") {
+            opts.buckets = parseSize(arg, next());
+        } else if (arg == "--stats") {
+            opts.dumpStats = true;
+        } else if (arg.rfind("--", 0) == 0) {
+            err << "unknown option '" << arg << "'\n";
+            return false;
+        } else if (arg.find('=') != std::string::npos) {
+            opts.spec.params.push_back(arg);
+        } else {
+            err << "expected key=value or an option, got '" << arg
+                << "'\n";
+            return false;
+        }
+    }
+    return true;
+}
+
+int
+runOrSweep(const CliOptions &opts, bool allow_sweep,
+           std::ostream &out, std::ostream &err)
+{
+    if (opts.spec.workload.empty()) {
+        err << "run/sweep needs --workload (see `gpulat list`)\n";
+        return 2;
+    }
+
+    const auto runs = expandSweep(opts.spec);
+    if (!allow_sweep && runs.size() > 1) {
+        err << "`gpulat run` runs one experiment; comma-separated "
+               "values expand to " << runs.size()
+            << " runs — use `gpulat sweep`\n";
+        return 2;
+    }
+
+    MultiSink sinks;
+    bool stdoutTaken = false;
+    for (const std::string &path : opts.jsonOuts) {
+        if (path == "-") {
+            sinks.add(std::make_unique<JsonSink>(out));
+            stdoutTaken = true;
+        } else {
+            sinks.add(std::make_unique<JsonSink>(path));
+        }
+    }
+    for (const std::string &path : opts.csvOuts) {
+        if (path == "-") {
+            sinks.add(std::make_unique<CsvSink>(out));
+            stdoutTaken = true;
+        } else {
+            sinks.add(std::make_unique<CsvSink>(path));
+        }
+    }
+    // The human-readable table is on by default but must not
+    // corrupt machine-readable output already claimed on stdout.
+    if (opts.table && !stdoutTaken)
+        sinks.add(std::make_unique<TextTableSink>(out));
+
+    bool allCorrect = true;
+    for (const ExperimentSpec &spec : runs) {
+        auto inspect = [&](Gpu &gpu, const ExperimentRecord &rec) {
+            if (opts.report.empty() && !opts.dumpStats)
+                return;
+            if (stdoutTaken) {
+                fatal("--report/--stats write to stdout; use a "
+                      "file for --json/--csv");
+            }
+            out << "=== " << rec.gpu << " x " << rec.workload;
+            for (const auto &[k, v] : rec.overrides)
+                out << " " << k << "=" << v;
+            out << " ===\n";
+            const bool all = opts.report == "all";
+            if (opts.report == "summary" || all) {
+                computeSummary(gpu.latencies().traces()).print(out);
+                out << "\n";
+            }
+            if (opts.report == "fig1" || all) {
+                computeBreakdown(gpu.latencies().traces(),
+                                 opts.buckets)
+                    .printChart(out);
+                out << "\n";
+            }
+            if (opts.report == "fig2" || all) {
+                computeExposure(gpu.exposure().records(),
+                                opts.buckets)
+                    .printChart(out);
+                out << "\n";
+            }
+            if (opts.dumpStats)
+                gpu.stats().dump(out);
+        };
+        const ExperimentRecord rec = runExperiment(spec, inspect);
+        allCorrect = allCorrect && rec.correct;
+        sinks.write(rec);
+    }
+    sinks.finish();
+
+    if (!allCorrect)
+        err << "FAILED: at least one workload did not verify\n";
+    return allCorrect ? 0 : 1;
+}
+
+} // namespace
+
+int
+runCli(int argc, const char *const *argv, std::ostream &out,
+       std::ostream &err)
+{
+    std::vector<std::string> args(argv + 1, argv + argc);
+    if (args.empty())
+        return usage(err);
+
+    const std::string command = args.front();
+    args.erase(args.begin());
+
+    try {
+        if (command == "list") {
+            const std::string what = args.empty() ? "" : args.front();
+            if (what.empty() || what == "workloads")
+                listWorkloads(out);
+            if (what.empty() || what == "gpus")
+                listGpus(out);
+            if (what.empty() || what == "keys")
+                listKeys(out);
+            if (!what.empty() && what != "workloads" &&
+                what != "gpus" && what != "keys") {
+                err << "unknown list section '" << what
+                    << "' (workloads|gpus|keys)\n";
+                return 2;
+            }
+            return 0;
+        }
+        if (command == "run" || command == "sweep") {
+            CliOptions opts;
+            if (!parseRunArgs(args, opts, err))
+                return usage(err);
+            return runOrSweep(opts, command == "sweep", out, err);
+        }
+        if (command == "--help" || command == "-h" ||
+            command == "help") {
+            usage(out);
+            return 0;
+        }
+        err << "unknown command '" << command << "'\n";
+        return usage(err);
+    } catch (const FatalError &e) {
+        err << e.what() << "\n";
+        return 2;
+    }
+}
+
+} // namespace gpulat

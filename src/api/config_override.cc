@@ -1,0 +1,282 @@
+#include "api/config_override.hh"
+
+#include <algorithm>
+#include <cstdlib>
+#include <limits>
+#include <type_traits>
+
+#include "api/param_map.hh"
+#include "common/log.hh"
+
+namespace gpulat {
+
+ClockRatio
+parseClockRatio(const std::string &text)
+{
+    // Accept "M/D", "M:D" or a bare "M" (meaning M/1).
+    auto sep = text.find('/');
+    if (sep == std::string::npos)
+        sep = text.find(':');
+    const std::string mul_s =
+        sep == std::string::npos ? text : text.substr(0, sep);
+    const std::string div_s =
+        sep == std::string::npos ? "1" : text.substr(sep + 1);
+    // strtoul wraps a leading '-' instead of failing.
+    char *end = nullptr;
+    const unsigned long mul = std::strtoul(mul_s.c_str(), &end, 10);
+    const bool mul_ok = !mul_s.empty() && mul_s[0] != '-' &&
+        end != mul_s.c_str() && *end == '\0';
+    const unsigned long div = std::strtoul(div_s.c_str(), &end, 10);
+    const bool div_ok = !div_s.empty() && div_s[0] != '-' &&
+        end != div_s.c_str() && *end == '\0';
+    if (!mul_ok || !div_ok || mul == 0 || div == 0) {
+        fatal("'", text, "' is not a clock ratio (expected M/D, ",
+              "M:D or M with M,D > 0)");
+    }
+    return ClockRatio{static_cast<unsigned>(mul),
+                      static_cast<unsigned>(div)};
+}
+
+std::string
+formatClockRatio(ClockRatio ratio)
+{
+    return std::to_string(ratio.mul) + "/" + std::to_string(ratio.div);
+}
+
+namespace {
+
+std::uint64_t
+parseU64(const std::string &path, const std::string &text)
+{
+    char *end = nullptr;
+    const std::uint64_t v = std::strtoull(text.c_str(), &end, 0);
+    // strtoull wraps a leading '-' instead of failing.
+    if (text.empty() || text[0] == '-' || end == text.c_str() ||
+        *end != '\0')
+        fatal(path, ": '", text, "' is not a non-negative integer");
+    return v;
+}
+
+template <typename T>
+void
+parseValue(const std::string &path, const std::string &text, T &dst)
+{
+    if constexpr (std::is_same_v<T, bool>) {
+        if (text == "1" || text == "true" || text == "on") {
+            dst = true;
+        } else if (text == "0" || text == "false" || text == "off") {
+            dst = false;
+        } else {
+            fatal(path, ": '", text, "' is not a boolean");
+        }
+    } else if constexpr (std::is_same_v<T, std::string>) {
+        dst = text;
+    } else if constexpr (std::is_same_v<T, ClockRatio>) {
+        dst = parseClockRatio(text);
+    } else if constexpr (std::is_same_v<T, SchedPolicy>) {
+        if (text == "lrr") dst = SchedPolicy::LRR;
+        else if (text == "gto") dst = SchedPolicy::GTO;
+        else fatal(path, ": '", text, "' is not lrr|gto");
+    } else if constexpr (std::is_same_v<T, DramSchedPolicy>) {
+        if (text == "fcfs") dst = DramSchedPolicy::FCFS;
+        else if (text == "frfcfs") dst = DramSchedPolicy::FRFCFS;
+        else fatal(path, ": '", text, "' is not fcfs|frfcfs");
+    } else if constexpr (std::is_same_v<T, WritePolicy>) {
+        if (text == "writethrough") dst = WritePolicy::WriteThrough;
+        else if (text == "writeback") dst = WritePolicy::WriteBack;
+        else fatal(path, ": '", text,
+                   "' is not writethrough|writeback");
+    } else if constexpr (std::is_same_v<T, ReplPolicy>) {
+        if (text == "lru") dst = ReplPolicy::LRU;
+        else if (text == "fifo") dst = ReplPolicy::FIFO;
+        else fatal(path, ": '", text, "' is not lru|fifo");
+    } else {
+        static_assert(std::is_unsigned_v<T>,
+                      "unsupported override type");
+        const std::uint64_t v = parseU64(path, text);
+        if (v > std::numeric_limits<T>::max())
+            fatal(path, ": ", v, " out of range");
+        dst = static_cast<T>(v);
+    }
+}
+
+template <typename T>
+std::string
+formatValue(const T &v)
+{
+    if constexpr (std::is_same_v<T, bool>) {
+        return v ? "true" : "false";
+    } else if constexpr (std::is_same_v<T, std::string>) {
+        return v;
+    } else if constexpr (std::is_same_v<T, ClockRatio>) {
+        return formatClockRatio(v);
+    } else if constexpr (std::is_same_v<T, SchedPolicy>) {
+        return v == SchedPolicy::LRR ? "lrr" : "gto";
+    } else if constexpr (std::is_same_v<T, DramSchedPolicy>) {
+        return v == DramSchedPolicy::FCFS ? "fcfs" : "frfcfs";
+    } else if constexpr (std::is_same_v<T, WritePolicy>) {
+        return v == WritePolicy::WriteThrough ? "writethrough"
+                                              : "writeback";
+    } else if constexpr (std::is_same_v<T, ReplPolicy>) {
+        return v == ReplPolicy::LRU ? "lru" : "fifo";
+    } else {
+        return std::to_string(v);
+    }
+}
+
+template <typename Ref>
+ConfigKey
+makeKey(std::string path, const char *type, Ref ref)
+{
+    ConfigKey key;
+    key.path = std::move(path);
+    key.type = type;
+    key.set = [ref, path = key.path](GpuConfig &cfg,
+                                     const std::string &text) {
+        parseValue(path, text, ref(cfg));
+    };
+    key.get = [ref](const GpuConfig &cfg) {
+        return formatValue(ref(const_cast<GpuConfig &>(cfg)));
+    };
+    return key;
+}
+
+/** The stringized member expression doubles as the dotted path. */
+#define GPULAT_CFG_KEY(member, type)                                      \
+    makeKey(#member, type,                                                \
+            [](GpuConfig &c) -> auto & { return c.member; })
+
+std::vector<ConfigKey>
+buildKeys()
+{
+    std::vector<ConfigKey> keys = {
+        GPULAT_CFG_KEY(name, "string"),
+        GPULAT_CFG_KEY(numSms, "uint"),
+        GPULAT_CFG_KEY(numPartitions, "uint"),
+        GPULAT_CFG_KEY(icntClock, "ratio M/D"),
+        GPULAT_CFG_KEY(l2Clock, "ratio M/D"),
+        GPULAT_CFG_KEY(dramClock, "ratio M/D"),
+        GPULAT_CFG_KEY(idleFastForward, "bool"),
+        GPULAT_CFG_KEY(icntLatency, "cycles"),
+        GPULAT_CFG_KEY(icntInQueue, "uint"),
+        GPULAT_CFG_KEY(icntOutQueue, "uint"),
+        GPULAT_CFG_KEY(deviceMemBytes, "bytes"),
+        GPULAT_CFG_KEY(localBytesPerThread, "bytes"),
+
+        GPULAT_CFG_KEY(sm.warpSlots, "uint"),
+        GPULAT_CFG_KEY(sm.numSchedulers, "uint"),
+        GPULAT_CFG_KEY(sm.schedPolicy, "lrr|gto"),
+        GPULAT_CFG_KEY(sm.maxBlocksPerSm, "uint"),
+        GPULAT_CFG_KEY(sm.regsPerSm, "uint"),
+        GPULAT_CFG_KEY(sm.smemPerSm, "bytes"),
+        GPULAT_CFG_KEY(sm.aluLatency, "cycles"),
+        GPULAT_CFG_KEY(sm.fpLatency, "cycles"),
+        GPULAT_CFG_KEY(sm.smemLatency, "cycles"),
+        GPULAT_CFG_KEY(sm.smemBanks, "uint"),
+        GPULAT_CFG_KEY(sm.smemConflictPenalty, "cycles"),
+        GPULAT_CFG_KEY(sm.lsuQueueSize, "uint"),
+        GPULAT_CFG_KEY(sm.smBaseLatency, "cycles"),
+        GPULAT_CFG_KEY(sm.lineBytes, "bytes"),
+        GPULAT_CFG_KEY(sm.l1Enabled, "bool"),
+        GPULAT_CFG_KEY(sm.l1CachesGlobal, "bool"),
+        GPULAT_CFG_KEY(sm.l1CachesLocal, "bool"),
+        GPULAT_CFG_KEY(sm.l1HitLatency, "cycles"),
+        GPULAT_CFG_KEY(sm.l1MissLatency, "cycles"),
+        GPULAT_CFG_KEY(sm.l1MshrEntries, "uint"),
+        GPULAT_CFG_KEY(sm.l1MshrMaxMerge, "uint"),
+        GPULAT_CFG_KEY(sm.l1MissQueueSize, "uint"),
+        GPULAT_CFG_KEY(sm.l1Cache.capacityBytes, "bytes"),
+        GPULAT_CFG_KEY(sm.l1Cache.lineBytes, "bytes"),
+        GPULAT_CFG_KEY(sm.l1Cache.ways, "uint"),
+        GPULAT_CFG_KEY(sm.l1Cache.repl, "lru|fifo"),
+        GPULAT_CFG_KEY(sm.l1Cache.write, "writethrough|writeback"),
+
+        GPULAT_CFG_KEY(partition.lineBytes, "bytes"),
+        GPULAT_CFG_KEY(partition.ropQueueSize, "uint"),
+        GPULAT_CFG_KEY(partition.ropLatency, "cycles"),
+        GPULAT_CFG_KEY(partition.l2Enabled, "bool"),
+        GPULAT_CFG_KEY(partition.l2QueueSize, "uint"),
+        GPULAT_CFG_KEY(partition.l2QueueLatency, "cycles"),
+        GPULAT_CFG_KEY(partition.l2HitLatency, "cycles"),
+        GPULAT_CFG_KEY(partition.l2MissLatency, "cycles"),
+        GPULAT_CFG_KEY(partition.l2MshrEntries, "uint"),
+        GPULAT_CFG_KEY(partition.l2MshrMaxMerge, "uint"),
+        GPULAT_CFG_KEY(partition.l2Cache.capacityBytes, "bytes"),
+        GPULAT_CFG_KEY(partition.l2Cache.lineBytes, "bytes"),
+        GPULAT_CFG_KEY(partition.l2Cache.ways, "uint"),
+        GPULAT_CFG_KEY(partition.l2Cache.repl, "lru|fifo"),
+        GPULAT_CFG_KEY(partition.l2Cache.write,
+                       "writethrough|writeback"),
+        GPULAT_CFG_KEY(partition.dramQueueSize, "uint"),
+        GPULAT_CFG_KEY(partition.sched, "fcfs|frfcfs"),
+        GPULAT_CFG_KEY(partition.dramStarvationLimit, "cycles"),
+        GPULAT_CFG_KEY(partition.dramCmdInterval, "cycles"),
+        GPULAT_CFG_KEY(partition.returnQueueSize, "uint"),
+        GPULAT_CFG_KEY(partition.returnQueueLatency, "cycles"),
+        GPULAT_CFG_KEY(partition.dram.banks, "uint"),
+        GPULAT_CFG_KEY(partition.dram.rowBytes, "bytes"),
+        GPULAT_CFG_KEY(partition.dram.timing.tRCD, "cycles"),
+        GPULAT_CFG_KEY(partition.dram.timing.tRP, "cycles"),
+        GPULAT_CFG_KEY(partition.dram.timing.tCAS, "cycles"),
+        GPULAT_CFG_KEY(partition.dram.timing.tBurst, "cycles"),
+        GPULAT_CFG_KEY(partition.dram.timing.tExtra, "cycles"),
+    };
+
+#undef GPULAT_CFG_KEY
+
+    std::sort(keys.begin(), keys.end(),
+              [](const ConfigKey &a, const ConfigKey &b) {
+                  return a.path < b.path;
+              });
+    return keys;
+}
+
+const ConfigKey *
+findKey(const std::string &path)
+{
+    for (const ConfigKey &key : configKeys()) {
+        if (key.path == path)
+            return &key;
+    }
+    return nullptr;
+}
+
+} // namespace
+
+const std::vector<ConfigKey> &
+configKeys()
+{
+    static const std::vector<ConfigKey> keys = buildKeys();
+    return keys;
+}
+
+void
+applyOverride(GpuConfig &cfg, const std::string &assignment)
+{
+    const auto [path, value] = ParamMap::splitAssignment(assignment);
+    const ConfigKey *key = findKey(path);
+    if (!key) {
+        fatal("unknown config key '", path,
+              "' (see `gpulat list keys`)");
+    }
+    key->set(cfg, value);
+}
+
+void
+applyOverrides(GpuConfig &cfg,
+               const std::vector<std::string> &assignments)
+{
+    for (const std::string &a : assignments)
+        applyOverride(cfg, a);
+}
+
+std::string
+readOverride(const GpuConfig &cfg, const std::string &path)
+{
+    const ConfigKey *key = findKey(path);
+    if (!key)
+        fatal("unknown config key '", path, "'");
+    return key->get(cfg);
+}
+
+} // namespace gpulat

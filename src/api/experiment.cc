@@ -1,0 +1,259 @@
+#include "api/experiment.hh"
+
+#include <cctype>
+
+#include "api/config_override.hh"
+#include "api/workload_registry.hh"
+#include "common/log.hh"
+#include "latency/breakdown.hh"
+#include "latency/exposure.hh"
+
+namespace gpulat {
+
+namespace {
+
+/** "DRAM(QtoSch)" -> "dram_qtosch": stable metric-key slug. */
+std::string
+stageSlug(Stage stage)
+{
+    const std::string name = toString(stage);
+    std::string slug;
+    for (const char c : name) {
+        if (std::isalnum(static_cast<unsigned char>(c))) {
+            slug += static_cast<char>(
+                std::tolower(static_cast<unsigned char>(c)));
+        } else if (!slug.empty() && slug.back() != '_') {
+            slug += '_';
+        }
+    }
+    while (!slug.empty() && slug.back() == '_')
+        slug.pop_back();
+    return slug;
+}
+
+/** Merged effective workload parameters: scaled bench defaults
+ *  under the user's explicit assignments. */
+ParamMap
+effectiveParams(const ExperimentSpec &spec)
+{
+    const WorkloadRegistry &reg = WorkloadRegistry::instance();
+    ParamMap params = reg.scaledParams(spec.workload, spec.scale);
+    for (const std::string &a : spec.params) {
+        auto [key, value] = ParamMap::splitAssignment(a);
+        params.set(key, value);
+    }
+    return params;
+}
+
+} // namespace
+
+GpuConfig
+buildConfig(const ExperimentSpec &spec)
+{
+    GpuConfig cfg = makeConfig(spec.gpu);
+    applyOverrides(cfg, spec.overrides);
+    return cfg;
+}
+
+ExperimentRecord
+collectRecord(Gpu &gpu, const ExperimentSpec &spec,
+              const WorkloadResult &result)
+{
+    ExperimentRecord rec;
+    rec.gpu = gpu.config().name;
+    rec.workload = spec.workload;
+    for (const std::string &a : spec.params) {
+        auto [key, value] = ParamMap::splitAssignment(a);
+        rec.params[key] = value;
+    }
+    for (const std::string &a : spec.overrides) {
+        auto [key, value] = ParamMap::splitAssignment(a);
+        rec.overrides[key] = value;
+    }
+
+    rec.correct = result.correct;
+    rec.cycles = result.cycles;
+    rec.instructions = result.instructions;
+    rec.launches = result.launches;
+
+    rec.metrics["ipc"] = result.cycles
+        ? static_cast<double>(result.instructions) /
+              static_cast<double>(result.cycles)
+        : 0.0;
+
+    const auto &traces = gpu.latencies().traces();
+    rec.metrics["requests"] =
+        static_cast<double>(gpu.latencies().count());
+    double lat_sum = 0.0;
+    for (const auto &t : traces)
+        lat_sum += static_cast<double>(t.total());
+    rec.metrics["mean_load_latency"] = traces.empty()
+        ? 0.0
+        : lat_sum / static_cast<double>(traces.size());
+
+    rec.metrics["exposed_pct"] =
+        computeExposure(gpu.exposure().records(), 48)
+            .overallExposedPct();
+
+    const Breakdown bd = computeBreakdown(traces, 48);
+    std::uint64_t stage_total = 0;
+    for (const auto v : bd.totalByStage)
+        stage_total += v;
+    for (std::size_t s = 0; s < kNumStages; ++s) {
+        rec.metrics["stage_pct." + stageSlug(static_cast<Stage>(s))] =
+            stage_total
+            ? 100.0 * static_cast<double>(bd.totalByStage[s]) /
+                  static_cast<double>(stage_total)
+            : 0.0;
+    }
+
+    // Aggregate unit counters across SMs/partitions under their
+    // unit-relative names ("sm3.l1.hits" counts toward "l1.hits"),
+    // reading per-epoch deltas so back-to-back experiments on one
+    // Gpu stay separable.
+    const StatRegistry &stats = gpu.stats();
+    auto unitRelative = [](const std::string &name) {
+        for (const char *prefix : {"sm", "part"}) {
+            const std::size_t plen = std::string(prefix).size();
+            if (name.rfind(prefix, 0) != 0)
+                continue;
+            std::size_t i = plen;
+            while (i < name.size() &&
+                   std::isdigit(static_cast<unsigned char>(name[i])))
+                ++i;
+            if (i > plen && i < name.size() && name[i] == '.')
+                return name.substr(i + 1);
+        }
+        return name;
+    };
+    for (const auto &[name, counter] : stats.counters()) {
+        (void)counter;
+        rec.counters[unitRelative(name)] +=
+            stats.counterSinceEpoch(name);
+    }
+
+    const std::uint64_t l1_hits = rec.counters.count("l1.hits")
+        ? rec.counters.at("l1.hits") : 0;
+    const std::uint64_t l1_misses = rec.counters.count("l1.misses")
+        ? rec.counters.at("l1.misses") : 0;
+    rec.metrics["l1_hit_pct"] = l1_hits + l1_misses
+        ? 100.0 * static_cast<double>(l1_hits) /
+              static_cast<double>(l1_hits + l1_misses)
+        : 0.0;
+
+    const std::uint64_t row_hits = rec.counters.count("dram.row_hits")
+        ? rec.counters.at("dram.row_hits") : 0;
+    std::uint64_t dram_total = row_hits;
+    for (const char *k : {"dram.row_misses", "dram.row_closed"})
+        dram_total += rec.counters.count(k) ? rec.counters.at(k) : 0;
+    rec.metrics["dram_row_hit_pct"] = dram_total
+        ? 100.0 * static_cast<double>(row_hits) /
+              static_cast<double>(dram_total)
+        : 0.0;
+
+    StatRegistry::ScalarDelta wait;
+    for (const auto &[name, scalar] : stats.scalars()) {
+        (void)scalar;
+        if (name.find(".dram_queue_wait") == std::string::npos)
+            continue;
+        const auto delta = stats.scalarSinceEpoch(name);
+        wait.sum += delta.sum;
+        wait.count += delta.count;
+    }
+    rec.metrics["mean_dram_queue_wait"] = wait.mean();
+
+    return rec;
+}
+
+ExperimentRecord
+runExperiment(
+    const ExperimentSpec &spec,
+    const std::function<void(Gpu &, const ExperimentRecord &)>
+        &inspect)
+{
+    if (spec.workload.empty())
+        fatal("experiment needs a workload (see `gpulat list`)");
+
+    const WorkloadRegistry &reg = WorkloadRegistry::instance();
+    auto workload = reg.create(spec.workload, effectiveParams(spec));
+
+    Gpu gpu(buildConfig(spec));
+    const WorkloadResult result = workload->run(gpu);
+
+    ExperimentRecord rec = collectRecord(gpu, spec, result);
+    // Report the *effective* parameters (scaled defaults merged
+    // with the user's), so a record is re-runnable verbatim.
+    rec.params.clear();
+    const ParamMap effective = effectiveParams(spec);
+    for (const auto &[k, v] : effective.entries())
+        rec.params[k] = v;
+
+    if (inspect)
+        inspect(gpu, rec);
+    return rec;
+}
+
+std::vector<ExperimentSpec>
+expandSweep(const ExperimentSpec &spec)
+{
+    // Collect the sweep axes: every params/overrides value with a
+    // comma-list, in listing order (params first).
+    struct Axis
+    {
+        bool isOverride;
+        std::size_t index; ///< into spec.params / spec.overrides
+        std::string key;
+        std::vector<std::string> values;
+    };
+    std::vector<Axis> axes;
+
+    auto scan = [&](const std::vector<std::string> &list,
+                    bool is_override) {
+        for (std::size_t i = 0; i < list.size(); ++i) {
+            auto [key, value] = ParamMap::splitAssignment(list[i]);
+            Axis axis{is_override, i, key, {}};
+            std::size_t pos = 0;
+            while (true) {
+                const auto comma = value.find(',', pos);
+                axis.values.push_back(
+                    value.substr(pos, comma - pos));
+                if (comma == std::string::npos)
+                    break;
+                pos = comma + 1;
+            }
+            if (axis.values.size() > 1)
+                axes.push_back(std::move(axis));
+        }
+    };
+    scan(spec.params, false);
+    scan(spec.overrides, true);
+
+    if (axes.empty())
+        return {spec};
+
+    std::vector<ExperimentSpec> out;
+    std::vector<std::size_t> idx(axes.size(), 0);
+    while (true) {
+        ExperimentSpec one = spec;
+        for (std::size_t a = 0; a < axes.size(); ++a) {
+            auto &list = axes[a].isOverride ? one.overrides
+                                           : one.params;
+            list[axes[a].index] =
+                axes[a].key + '=' + axes[a].values[idx[a]];
+        }
+        out.push_back(std::move(one));
+
+        // Odometer: last axis varies fastest.
+        std::size_t a = axes.size();
+        while (a > 0) {
+            --a;
+            if (++idx[a] < axes[a].values.size())
+                break;
+            idx[a] = 0;
+            if (a == 0)
+                return out;
+        }
+    }
+}
+
+} // namespace gpulat

@@ -1,0 +1,244 @@
+#include "api/stat_sink.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/log.hh"
+#include "common/table.hh"
+
+namespace gpulat {
+
+double
+ExperimentRecord::metric(const std::string &name) const
+{
+    auto it = metrics.find(name);
+    return it == metrics.end() ? 0.0 : it->second;
+}
+
+namespace {
+
+std::string
+joinPairs(const std::map<std::string, std::string> &map,
+          const char *sep)
+{
+    std::string out;
+    for (const auto &[k, v] : map) {
+        if (!out.empty())
+            out += sep;
+        out += k + '=' + v;
+    }
+    return out;
+}
+
+/** JSON number: finite doubles only (NaN/inf have no literal). */
+std::string
+jsonNumber(double v)
+{
+    if (!std::isfinite(v))
+        return "null";
+    std::ostringstream oss;
+    oss.precision(12);
+    oss << v;
+    return oss.str();
+}
+
+} // namespace
+
+std::string
+jsonQuote(const std::string &s)
+{
+    std::string out = "\"";
+    for (const char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+    return out;
+}
+
+// ------------------------------------------------------- TextTableSink
+
+void
+TextTableSink::write(const ExperimentRecord &record)
+{
+    records_.push_back(record);
+}
+
+void
+TextTableSink::finish()
+{
+    std::vector<std::string> header{
+        "gpu", "workload", "params", "overrides", "correct",
+        "cycles", "instrs", "IPC", "mean load lat", "exposed %"};
+    for (const std::string &m : extraMetrics_)
+        header.push_back(m);
+    TextTable table(std::move(header));
+    for (const ExperimentRecord &r : records_) {
+        std::vector<std::string> row{
+            r.gpu, r.workload, joinPairs(r.params, " "),
+            joinPairs(r.overrides, " "),
+            r.correct ? "yes" : "NO",
+            std::to_string(r.cycles),
+            std::to_string(r.instructions),
+            formatDouble(r.metric("ipc"), 2),
+            formatDouble(r.metric("mean_load_latency"), 1),
+            formatDouble(r.metric("exposed_pct"), 1)};
+        for (const std::string &m : extraMetrics_)
+            row.push_back(formatDouble(r.metric(m), 1));
+        table.addRow(std::move(row));
+    }
+    table.print(os_);
+}
+
+// ------------------------------------------------------ FileBackedSink
+
+FileBackedSink::FileBackedSink(const std::string &path)
+    : owned_(std::make_unique<std::ofstream>(path)), os_(*owned_)
+{
+    if (!os_)
+        fatal("cannot open '", path, "' for writing");
+}
+
+// ------------------------------------------------------------ JsonSink
+
+void
+JsonSink::write(const ExperimentRecord &record)
+{
+    os_ << (first_ ? "{\n  \"schema\": \"gpulat.run.v1\",\n"
+                     "  \"records\": [\n"
+                   : ",\n");
+    first_ = false;
+
+    os_ << "    {\n      \"gpu\": " << jsonQuote(record.gpu)
+        << ",\n      \"workload\": " << jsonQuote(record.workload)
+        << ",\n      \"params\": {";
+    bool first = true;
+    for (const auto &[k, v] : record.params) {
+        os_ << (first ? "" : ", ") << jsonQuote(k) << ": "
+            << jsonQuote(v);
+        first = false;
+    }
+    os_ << "},\n      \"overrides\": {";
+    first = true;
+    for (const auto &[k, v] : record.overrides) {
+        os_ << (first ? "" : ", ") << jsonQuote(k) << ": "
+            << jsonQuote(v);
+        first = false;
+    }
+    os_ << "},\n      \"correct\": "
+        << (record.correct ? "true" : "false")
+        << ",\n      \"cycles\": " << record.cycles
+        << ",\n      \"instructions\": " << record.instructions
+        << ",\n      \"launches\": " << record.launches
+        << ",\n      \"metrics\": {";
+    first = true;
+    for (const auto &[k, v] : record.metrics) {
+        os_ << (first ? "" : ", ") << jsonQuote(k) << ": "
+            << jsonNumber(v);
+        first = false;
+    }
+    os_ << "},\n      \"counters\": {";
+    first = true;
+    for (const auto &[k, v] : record.counters) {
+        os_ << (first ? "" : ", ") << jsonQuote(k) << ": " << v;
+        first = false;
+    }
+    os_ << "}\n    }";
+}
+
+void
+JsonSink::finish()
+{
+    if (first_) {
+        // No records: still emit a schema-complete document.
+        os_ << "{\n  \"schema\": \"gpulat.run.v1\",\n"
+               "  \"records\": [\n";
+    }
+    os_ << "\n  ]\n}\n";
+}
+
+// ------------------------------------------------------------- CsvSink
+
+void
+CsvSink::write(const ExperimentRecord &record)
+{
+    if (!wroteHeader_) {
+        os_ << "gpu,workload,params,overrides,correct,cycles,"
+               "instructions,launches,ipc,requests,"
+               "mean_load_latency,exposed_pct,l1_hit_pct,"
+               "dram_row_hit_pct,mean_dram_queue_wait\n";
+        wroteHeader_ = true;
+    }
+    os_ << record.gpu << ',' << record.workload << ','
+        << joinPairs(record.params, ";") << ','
+        << joinPairs(record.overrides, ";") << ','
+        << (record.correct ? "true" : "false") << ','
+        << record.cycles << ',' << record.instructions << ','
+        << record.launches << ','
+        << formatDouble(record.metric("ipc"), 4) << ','
+        << formatDouble(record.metric("requests"), 0) << ','
+        << formatDouble(record.metric("mean_load_latency"), 2) << ','
+        << formatDouble(record.metric("exposed_pct"), 2) << ','
+        << formatDouble(record.metric("l1_hit_pct"), 2) << ','
+        << formatDouble(record.metric("dram_row_hit_pct"), 2) << ','
+        << formatDouble(record.metric("mean_dram_queue_wait"), 2)
+        << '\n';
+}
+
+// ----------------------------------------------------------- MultiSink
+
+void
+MultiSink::add(std::unique_ptr<StatSink> sink)
+{
+    sinks_.push_back(std::move(sink));
+}
+
+void
+MultiSink::write(const ExperimentRecord &record)
+{
+    for (auto &sink : sinks_)
+        sink->write(record);
+}
+
+void
+MultiSink::finish()
+{
+    for (auto &sink : sinks_)
+        sink->finish();
+}
+
+void
+addOutputSinks(MultiSink &sinks, int argc,
+               const char *const *argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg != "--json" && arg != "--csv")
+            fatal("unknown bench argument '", arg,
+                  "' (benches take --json FILE / --csv FILE)");
+        if (i + 1 >= argc)
+            fatal("'", arg, "' needs a file path");
+        const std::string path = argv[++i];
+        if (arg == "--json")
+            sinks.add(std::make_unique<JsonSink>(path));
+        else
+            sinks.add(std::make_unique<CsvSink>(path));
+    }
+}
+
+} // namespace gpulat

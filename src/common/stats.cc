@@ -17,6 +17,9 @@ StatRegistry::markEpoch()
     epoch_.clear();
     for (const auto &[name, c] : counters_)
         epoch_[name] = c.value();
+    scalarEpoch_.clear();
+    for (const auto &[name, s] : scalars_)
+        scalarEpoch_[name] = ScalarDelta{s.sum(), s.count()};
 }
 
 std::uint64_t
@@ -25,6 +28,23 @@ StatRegistry::counterSinceEpoch(const std::string &name) const
     const std::uint64_t value = counterValue(name);
     auto it = epoch_.find(name);
     return it == epoch_.end() ? value : value - it->second;
+}
+
+StatRegistry::ScalarDelta
+StatRegistry::scalarSinceEpoch(const std::string &name) const
+{
+    ScalarDelta delta;
+    auto it = scalars_.find(name);
+    if (it == scalars_.end())
+        return delta;
+    delta.sum = it->second.sum();
+    delta.count = it->second.count();
+    auto epoch = scalarEpoch_.find(name);
+    if (epoch != scalarEpoch_.end()) {
+        delta.sum -= epoch->second.sum;
+        delta.count -= epoch->second.count;
+    }
+    return delta;
 }
 
 void

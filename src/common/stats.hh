@@ -137,16 +137,29 @@ class StatRegistry
     std::uint64_t counterValue(const std::string &name) const;
 
     /**
-     * Snapshot every counter, starting a new experiment epoch.
-     * Counters themselves keep accumulating (they are monotonic);
-     * counterSinceEpoch() reads the delta, so back-to-back
-     * experiments in one process can be compared without leaking
-     * each other's totals.
+     * Snapshot every counter and scalar, starting a new experiment
+     * epoch. The statistics themselves keep accumulating;
+     * counterSinceEpoch()/scalarSinceEpoch() read the deltas, so
+     * back-to-back experiments in one process can be compared
+     * without leaking each other's totals.
      */
     void markEpoch();
 
     /** Counter delta since the last markEpoch() (0 if absent). */
     std::uint64_t counterSinceEpoch(const std::string &name) const;
+
+    /** Scalar sum/count accumulated since the last markEpoch(). */
+    struct ScalarDelta
+    {
+        double sum = 0.0;
+        std::uint64_t count = 0;
+
+        double mean() const
+        {
+            return count ? sum / static_cast<double>(count) : 0.0;
+        }
+    };
+    ScalarDelta scalarSinceEpoch(const std::string &name) const;
 
     /** Render all statistics as aligned text. */
     void dump(std::ostream &os) const;
@@ -158,6 +171,7 @@ class StatRegistry
     std::map<std::string, Counter> counters_;
     std::map<std::string, ScalarStat> scalars_;
     std::map<std::string, std::uint64_t> epoch_;
+    std::map<std::string, ScalarDelta> scalarEpoch_;
 };
 
 } // namespace gpulat

@@ -1,5 +1,7 @@
 #include "gpu/gpu_config.hh"
 
+#include <cctype>
+
 #include "common/log.hh"
 
 namespace gpulat {
@@ -200,15 +202,46 @@ makeGF100Sim()
     return cfg;
 }
 
+const std::vector<std::string> &
+configNames()
+{
+    static const std::vector<std::string> names{
+        "gt200", "gf106", "gk104", "gm107", "gf100-sim"};
+    return names;
+}
+
+namespace {
+
+/** Lowercase with '-'/'_' stripped, so CLI spellings like
+ *  "gf100sim" and "GF100-sim" resolve to the same preset. */
+std::string
+canonicalName(const std::string &name)
+{
+    std::string out;
+    for (const char c : name) {
+        if (c == '-' || c == '_')
+            continue;
+        out += static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c)));
+    }
+    return out;
+}
+
+} // namespace
+
 GpuConfig
 makeConfig(const std::string &name)
 {
-    if (name == "gt200") return makeGT200();
-    if (name == "gf106") return makeGF106();
-    if (name == "gk104") return makeGK104();
-    if (name == "gm107") return makeGM107();
-    if (name == "gf100-sim") return makeGF100Sim();
-    fatal("unknown GPU config '", name, "'");
+    const std::string wanted = canonicalName(name);
+    if (wanted == "gt200") return makeGT200();
+    if (wanted == "gf106") return makeGF106();
+    if (wanted == "gk104") return makeGK104();
+    if (wanted == "gm107") return makeGM107();
+    if (wanted == "gf100sim") return makeGF100Sim();
+    std::string known;
+    for (const auto &n : configNames())
+        known += (known.empty() ? "" : ", ") + n;
+    fatal("unknown GPU config '", name, "' (known: ", known, ")");
 }
 
 } // namespace gpulat

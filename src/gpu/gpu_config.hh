@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "engine/clocked.hh"
 #include "mem/partition.hh"
@@ -109,7 +110,14 @@ GpuConfig makeGM107();
  */
 GpuConfig makeGF100Sim();
 
-/** Look up a preset by name ("gt200", "gf106", ...). */
+/** Canonical preset names, in Table-I order. */
+const std::vector<std::string> &configNames();
+
+/**
+ * Look up a preset by name ("gt200", "gf106", ...). Matching
+ * ignores '-' and '_', so "gf100sim" and "gf100-sim" are the same
+ * preset.
+ */
 GpuConfig makeConfig(const std::string &name);
 
 /** @} */

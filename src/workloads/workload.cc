@@ -1,85 +1,17 @@
 #include "workloads/workload.hh"
 
-#include <algorithm>
-#include <cmath>
-
-#include "workloads/bfs.hh"
-#include "workloads/compute_stream.hh"
-#include "workloads/gemm.hh"
-#include "workloads/histogram.hh"
-#include "workloads/reduction.hh"
-#include "workloads/scan.hh"
-#include "workloads/spmv.hh"
-#include "workloads/stencil.hh"
-#include "workloads/transpose.hh"
-#include "workloads/vecadd.hh"
+#include "api/workload_registry.hh"
 
 namespace gpulat {
 
 std::vector<std::unique_ptr<Workload>>
 makeAllWorkloads(double scale)
 {
-    scale = std::clamp(scale, 0.01, 1.0);
-    auto scaled = [scale](std::uint64_t full, std::uint64_t min) {
-        return std::max<std::uint64_t>(
-            min, static_cast<std::uint64_t>(
-                     static_cast<double>(full) * scale));
-    };
-
+    const WorkloadRegistry &reg = WorkloadRegistry::instance();
     std::vector<std::unique_ptr<Workload>> workloads;
-
-    Bfs::Options bfs;
-    bfs.kind = Bfs::GraphKind::Rmat;
-    bfs.scale = scale >= 0.99 ? 14u : 11u;
-    bfs.degree = 8;
-    workloads.push_back(std::make_unique<Bfs>(bfs));
-
-    ComputeStream::Options cs;
-    cs.n = scaled(1 << 15, 1 << 12);
-    cs.fmaDepth = 32;
-    workloads.push_back(std::make_unique<ComputeStream>(cs));
-
-    VecAdd::Options vec;
-    vec.n = scaled(1 << 16, 1 << 12);
-    workloads.push_back(std::make_unique<VecAdd>(vec));
-
-    Reduction::Options red;
-    red.n = scaled(1 << 16, 1 << 12);
-    workloads.push_back(std::make_unique<Reduction>(red));
-
-    Stencil2D::Options st;
-    st.width = 256;
-    st.height = static_cast<unsigned>(scaled(256, 32));
-    st.iterations = 2;
-    workloads.push_back(std::make_unique<Stencil2D>(st));
-
-    SpMV::Options sp;
-    sp.rows = scaled(1 << 13, 1 << 10);
-    sp.nnzPerRow = 16;
-    workloads.push_back(std::make_unique<SpMV>(sp));
-
-    Transpose::Options tn;
-    tn.n = scale >= 0.99 ? 256u : 128u;
-    tn.tiled = false;
-    workloads.push_back(std::make_unique<Transpose>(tn));
-
-    Transpose::Options tt = tn;
-    tt.tiled = true;
-    workloads.push_back(std::make_unique<Transpose>(tt));
-
-    AtomicHistogram::Options hist;
-    hist.n = scaled(1 << 14, 1 << 11);
-    hist.bins = 256;
-    workloads.push_back(std::make_unique<AtomicHistogram>(hist));
-
-    Scan::Options scan;
-    scan.n = scaled(1 << 14, 1 << 11);
-    workloads.push_back(std::make_unique<Scan>(scan));
-
-    Gemm::Options gemm;
-    gemm.n = scale >= 0.99 ? 128u : 64u;
-    workloads.push_back(std::make_unique<Gemm>(gemm));
-
+    for (const std::string &name : reg.names())
+        workloads.push_back(
+            reg.create(name, reg.scaledParams(name, scale)));
     return workloads;
 }
 

@@ -40,7 +40,9 @@ class Workload
 /**
  * Construct the default-sized instance of every workload (used by
  * the multi-workload benches). @p scale in [0,1] shrinks inputs for
- * quick test runs (1.0 = bench-sized).
+ * quick test runs (1.0 = bench-sized). Implemented on top of the
+ * WorkloadRegistry (api/workload_registry.hh), which is the
+ * preferred way to construct workloads by name.
  */
 std::vector<std::unique_ptr<Workload>> makeAllWorkloads(double scale);
 

@@ -1,0 +1,446 @@
+/**
+ * @file
+ * Tests for the experiment API front-end: ParamMap parsing, the
+ * config-override layer (round-trips, ClockRatio, error paths),
+ * the workload registry, sweep expansion, sinks, and a golden
+ * check that the `gpulat` CLI reports bit-identical cycles to the
+ * same run driven through the direct C++ API.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <regex>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "api/cli.hh"
+#include "api/config_override.hh"
+#include "api/experiment.hh"
+#include "api/param_map.hh"
+#include "api/workload_registry.hh"
+#include "common/log.hh"
+#include "common/stats.hh"
+#include "gpu/gpu.hh"
+#include "workloads/bfs.hh"
+#include "workloads/vecadd.hh"
+
+namespace gpulat {
+namespace {
+
+// ------------------------------------------------------------ ParamMap
+
+TEST(ParamMap, ParsesTypedValues)
+{
+    const ParamMap map =
+        ParamMap::parse({"n=4096", "alpha=0.5", "deep=true",
+                         "name=bfs"});
+    EXPECT_EQ(map.getU64("n", 0), 4096u);
+    EXPECT_DOUBLE_EQ(map.getDouble("alpha", 0.0), 0.5);
+    EXPECT_TRUE(map.getBool("deep", false));
+    EXPECT_EQ(map.getString("name", ""), "bfs");
+    EXPECT_EQ(map.getU64("absent", 7), 7u);
+    EXPECT_TRUE(map.unconsumedKeys().empty());
+}
+
+TEST(ParamMap, TracksUnconsumedKeys)
+{
+    const ParamMap map = ParamMap::parse({"n=1", "typo=2"});
+    (void)map.getU64("n", 0);
+    const auto unconsumed = map.unconsumedKeys();
+    ASSERT_EQ(unconsumed.size(), 1u);
+    EXPECT_EQ(unconsumed[0], "typo");
+}
+
+TEST(ParamMap, RejectsMalformedInput)
+{
+    EXPECT_THROW(ParamMap::parse({"novalue"}), FatalError);
+    EXPECT_THROW(ParamMap::parse({"=x"}), FatalError);
+    const ParamMap map = ParamMap::parse({"n=abc", "b=maybe"});
+    EXPECT_THROW((void)map.getU64("n", 0), FatalError);
+    EXPECT_THROW((void)map.getBool("b", false), FatalError);
+}
+
+TEST(ParamMap, RejectsNegativeIntegers)
+{
+    // strtoull would happily wrap "-1" to 2^64-1.
+    const ParamMap map = ParamMap::parse({"n=-1"});
+    EXPECT_THROW((void)map.getU64("n", 0), FatalError);
+}
+
+// ----------------------------------------------------- config overrides
+
+TEST(ConfigOverride, AppliesDottedPaths)
+{
+    GpuConfig cfg = makeConfig("gf100-sim");
+    applyOverrides(cfg, {"sm.warpSlots=16", "numPartitions=3",
+                         "partition.sched=fcfs",
+                         "sm.schedPolicy=lrr",
+                         "partition.dram.timing.tRCD=99",
+                         "idleFastForward=off"});
+    EXPECT_EQ(cfg.sm.warpSlots, 16u);
+    EXPECT_EQ(cfg.numPartitions, 3u);
+    EXPECT_EQ(cfg.partition.sched, DramSchedPolicy::FCFS);
+    EXPECT_EQ(cfg.sm.schedPolicy, SchedPolicy::LRR);
+    EXPECT_EQ(cfg.partition.dram.timing.tRCD, 99u);
+    EXPECT_FALSE(cfg.idleFastForward);
+}
+
+TEST(ConfigOverride, ClockRatioForms)
+{
+    GpuConfig cfg = makeConfig("gf106");
+    applyOverride(cfg, "dramClock=1/2");
+    EXPECT_EQ(cfg.dramClock.mul, 1u);
+    EXPECT_EQ(cfg.dramClock.div, 2u);
+    applyOverride(cfg, "icntClock=2:3");
+    EXPECT_EQ(cfg.icntClock.mul, 2u);
+    EXPECT_EQ(cfg.icntClock.div, 3u);
+    applyOverride(cfg, "l2Clock=2");
+    EXPECT_EQ(cfg.l2Clock.mul, 2u);
+    EXPECT_EQ(cfg.l2Clock.div, 1u);
+    EXPECT_EQ(readOverride(cfg, "dramClock"), "1/2");
+
+    EXPECT_THROW(applyOverride(cfg, "dramClock=0/2"), FatalError);
+    EXPECT_THROW(applyOverride(cfg, "dramClock=fast"), FatalError);
+    EXPECT_THROW(applyOverride(cfg, "dramClock=-1"), FatalError);
+    EXPECT_THROW(applyOverride(cfg, "dramClock=1/-2"), FatalError);
+    EXPECT_THROW(applyOverride(cfg, "deviceMemBytes=-5"),
+                 FatalError);
+}
+
+TEST(ConfigOverride, EveryKeyRoundTrips)
+{
+    // Reading a key and applying the formatted value back must be
+    // an identity for every registered key, on every preset.
+    for (const std::string &preset : configNames()) {
+        const GpuConfig original = makeConfig(preset);
+        for (const ConfigKey &key : configKeys()) {
+            const std::string value = key.get(original);
+            GpuConfig copy = makeConfig(preset);
+            applyOverride(copy, key.path + "=" + value);
+            EXPECT_EQ(key.get(copy), value)
+                << preset << ": " << key.path;
+        }
+    }
+}
+
+TEST(ConfigOverride, RejectsBadInput)
+{
+    GpuConfig cfg = makeConfig("gf106");
+    EXPECT_THROW(applyOverride(cfg, "sm.noSuchKnob=1"), FatalError);
+    EXPECT_THROW(applyOverride(cfg, "warpSlots=48"), FatalError);
+    EXPECT_THROW(applyOverride(cfg, "sm.warpSlots"), FatalError);
+    EXPECT_THROW(applyOverride(cfg, "sm.warpSlots=lots"),
+                 FatalError);
+    EXPECT_THROW(applyOverride(cfg, "sm.l1Enabled=maybe"),
+                 FatalError);
+    EXPECT_THROW((void)readOverride(cfg, "sm.noSuchKnob"),
+                 FatalError);
+}
+
+// ----------------------------------------------------------- registry
+
+TEST(WorkloadRegistry, ConstructsEveryRegisteredName)
+{
+    const WorkloadRegistry &reg = WorkloadRegistry::instance();
+    const auto names = reg.names();
+    ASSERT_FALSE(names.empty());
+    for (const std::string &name : names) {
+        auto workload = reg.create(name, ParamMap{});
+        ASSERT_NE(workload, nullptr) << name;
+        EXPECT_EQ(workload->name(), name);
+    }
+}
+
+TEST(WorkloadRegistry, MatchesMakeAllWorkloads)
+{
+    // makeAllWorkloads() is implemented on the registry; the
+    // bench-suite set must be exactly the registered names, in
+    // registration order.
+    const auto workloads = makeAllWorkloads(0.05);
+    const auto names = WorkloadRegistry::instance().names();
+    ASSERT_EQ(workloads.size(), names.size());
+    for (std::size_t i = 0; i < names.size(); ++i)
+        EXPECT_EQ(workloads[i]->name(), names[i]);
+}
+
+TEST(WorkloadRegistry, RejectsUnknownNamesAndParams)
+{
+    const WorkloadRegistry &reg = WorkloadRegistry::instance();
+    EXPECT_THROW(reg.create("warp_drive", ParamMap{}), FatalError);
+    EXPECT_THROW(
+        reg.create("vecadd", ParamMap::parse({"ndoes=4096"})),
+        FatalError);
+}
+
+TEST(WorkloadRegistry, BfsNodesImpliesUniform)
+{
+    // The CLI shorthand `bfs nodes=4096` must construct a uniform
+    // graph of that size rather than silently ignoring `nodes`.
+    const WorkloadRegistry &reg = WorkloadRegistry::instance();
+    auto workload =
+        reg.create("bfs", ParamMap::parse({"nodes=512"}));
+    EXPECT_EQ(workload->name(), "bfs");
+    Gpu gpu(makeConfig("gf106"));
+    const WorkloadResult result = workload->run(gpu);
+    EXPECT_TRUE(result.correct);
+}
+
+TEST(WorkloadRegistry, BfsNodesShorthandSurvivesRunExperiment)
+{
+    // The shorthand must also hold through runExperiment's
+    // merging of scaled defaults under user params — a scaled
+    // default kind=rmat would silently win over `nodes=`.
+    ExperimentSpec spec;
+    spec.gpu = "gf106";
+    spec.workload = "bfs";
+    spec.params = {"nodes=512"};
+    const ExperimentRecord rec = runExperiment(spec);
+    EXPECT_TRUE(rec.correct);
+    EXPECT_EQ(rec.params.count("kind"), 0u);
+
+    // Bit-identical to the direct uniform-graph run (degree comes
+    // from the scaled defaults, everything else factory-default).
+    Gpu gpu(makeConfig("gf106"));
+    Bfs::Options opts;
+    opts.kind = Bfs::GraphKind::Uniform;
+    opts.nodes = 512;
+    opts.degree = 8;
+    Bfs bfs(opts);
+    EXPECT_EQ(rec.cycles, bfs.run(gpu).cycles);
+}
+
+TEST(WorkloadRegistry, EveryPresetWorkloadCellIsConstructible)
+{
+    // The acceptance bar for the CLI: every preset x workload cell
+    // must at least resolve and build (running all 55 cells is the
+    // bench suite's job, not a unit test's).
+    const WorkloadRegistry &reg = WorkloadRegistry::instance();
+    for (const std::string &preset : configNames()) {
+        ExperimentSpec spec;
+        spec.gpu = preset;
+        const GpuConfig cfg = buildConfig(spec);
+        EXPECT_EQ(cfg.name, preset);
+        for (const std::string &name : reg.names())
+            EXPECT_NE(reg.create(name, ParamMap{}), nullptr)
+                << preset << " x " << name;
+    }
+}
+
+TEST(Config, PresetNameAliases)
+{
+    EXPECT_EQ(makeConfig("gf100sim").name, "gf100-sim");
+    EXPECT_EQ(makeConfig("GF100-Sim").name, "gf100-sim");
+    EXPECT_EQ(makeConfig("gt_200").name, "gt200");
+    EXPECT_THROW(makeConfig("gp100"), FatalError);
+}
+
+// -------------------------------------------------------------- sweeps
+
+TEST(Experiment, ExpandSweepCartesianProduct)
+{
+    ExperimentSpec spec;
+    spec.workload = "vecadd";
+    spec.params = {"n=1024,2048"};
+    spec.overrides = {"sm.warpSlots=1,2,4", "icntLatency=32"};
+    const auto runs = expandSweep(spec);
+    ASSERT_EQ(runs.size(), 6u);
+    // First axis (params) varies slowest, last axis fastest.
+    EXPECT_EQ(runs[0].params[0], "n=1024");
+    EXPECT_EQ(runs[0].overrides[0], "sm.warpSlots=1");
+    EXPECT_EQ(runs[1].overrides[0], "sm.warpSlots=2");
+    EXPECT_EQ(runs[2].overrides[0], "sm.warpSlots=4");
+    EXPECT_EQ(runs[3].params[0], "n=2048");
+    EXPECT_EQ(runs[3].overrides[0], "sm.warpSlots=1");
+    for (const auto &run : runs)
+        EXPECT_EQ(run.overrides[1], "icntLatency=32");
+}
+
+TEST(Experiment, SingleSpecPassesThrough)
+{
+    ExperimentSpec spec;
+    spec.workload = "vecadd";
+    spec.params = {"n=1024"};
+    const auto runs = expandSweep(spec);
+    ASSERT_EQ(runs.size(), 1u);
+    EXPECT_EQ(runs[0].params[0], "n=1024");
+}
+
+TEST(Experiment, ScalarStatsRespectEpochs)
+{
+    // markEpoch() must fence scalars too, or a second experiment
+    // on the same Gpu inherits the first one's queue-wait samples.
+    StatRegistry stats;
+    stats.scalar("part0.dram_queue_wait").sample(100.0);
+    stats.scalar("part0.dram_queue_wait").sample(200.0);
+    stats.markEpoch();
+    stats.scalar("part0.dram_queue_wait").sample(30.0);
+    const auto delta =
+        stats.scalarSinceEpoch("part0.dram_queue_wait");
+    EXPECT_EQ(delta.count, 1u);
+    EXPECT_DOUBLE_EQ(delta.sum, 30.0);
+    EXPECT_DOUBLE_EQ(delta.mean(), 30.0);
+    EXPECT_EQ(stats.scalarSinceEpoch("absent").count, 0u);
+}
+
+// ------------------------------------------------ records and sinks
+
+TEST(Experiment, RecordCarriesStableMetrics)
+{
+    ExperimentSpec spec;
+    spec.gpu = "gf106";
+    spec.workload = "vecadd";
+    spec.params = {"n=2048"};
+    const ExperimentRecord rec = runExperiment(spec);
+    EXPECT_TRUE(rec.correct);
+    EXPECT_GT(rec.cycles, 0u);
+    EXPECT_EQ(rec.gpu, "gf106");
+    for (const char *metric :
+         {"ipc", "requests", "mean_load_latency", "exposed_pct",
+          "l1_hit_pct", "dram_row_hit_pct", "mean_dram_queue_wait",
+          "stage_pct.sm_base", "stage_pct.dram_qtosch"}) {
+        EXPECT_TRUE(rec.metrics.count(metric)) << metric;
+    }
+    EXPECT_GT(rec.metric("requests"), 0.0);
+    // Effective parameters are reported, defaults included.
+    EXPECT_EQ(rec.params.at("n"), "2048");
+}
+
+TEST(StatSinks, JsonAndCsvRender)
+{
+    ExperimentSpec spec;
+    spec.gpu = "gf106";
+    spec.workload = "vecadd";
+    spec.params = {"n=2048"};
+    const ExperimentRecord rec = runExperiment(spec);
+
+    std::ostringstream json;
+    JsonSink jsink(json);
+    jsink.write(rec);
+    jsink.finish();
+    EXPECT_NE(json.str().find("\"schema\": \"gpulat.run.v1\""),
+              std::string::npos);
+    EXPECT_NE(json.str().find("\"workload\": \"vecadd\""),
+              std::string::npos);
+    EXPECT_NE(json.str().find("\"cycles\": " +
+                              std::to_string(rec.cycles)),
+              std::string::npos);
+
+    std::ostringstream csv;
+    CsvSink csink(csv);
+    csink.write(rec);
+    csink.finish();
+    EXPECT_NE(csv.str().find("gpu,workload,params"),
+              std::string::npos);
+    EXPECT_NE(csv.str().find("gf106,vecadd,"), std::string::npos);
+}
+
+// ------------------------------------------------------ golden cycles
+
+Cycle
+directApiCycles()
+{
+    // The reference run: direct C++ API, no registry, no CLI.
+    Gpu gpu(makeGF106());
+    VecAdd::Options opts;
+    opts.n = 4096;
+    VecAdd workload(opts);
+    const WorkloadResult result = workload.run(gpu);
+    EXPECT_TRUE(result.correct);
+    return result.cycles;
+}
+
+TEST(Golden, RunExperimentMatchesDirectApi)
+{
+    ExperimentSpec spec;
+    spec.gpu = "gf106";
+    spec.workload = "vecadd";
+    spec.params = {"n=4096"};
+    const ExperimentRecord rec = runExperiment(spec);
+    EXPECT_TRUE(rec.correct);
+    EXPECT_EQ(rec.cycles, directApiCycles());
+}
+
+Cycle
+cyclesFromJson(const std::string &json)
+{
+    const std::regex pattern("\"cycles\": ([0-9]+)");
+    std::smatch match;
+    EXPECT_TRUE(std::regex_search(json, match, pattern)) << json;
+    return match.empty() ? 0 : std::stoull(match[1].str());
+}
+
+TEST(Cli, RunRefusesCommaListsSweepExpandsThem)
+{
+    const char *run_argv[] = {"gpulat", "run", "--workload",
+                              "vecadd", "n=1024",
+                              "--set", "sm.warpSlots=8,16"};
+    std::ostringstream out;
+    std::ostringstream err;
+    EXPECT_EQ(runCli(static_cast<int>(std::size(run_argv)),
+                     run_argv, out, err),
+              2);
+    EXPECT_NE(err.str().find("gpulat sweep"), std::string::npos);
+
+    const char *bad_scale[] = {"gpulat", "run", "--workload",
+                               "vecadd", "--scale", "abc"};
+    std::ostringstream out2;
+    std::ostringstream err2;
+    EXPECT_EQ(runCli(static_cast<int>(std::size(bad_scale)),
+                     bad_scale, out2, err2),
+              2);
+}
+
+TEST(Golden, InProcessCliMatchesDirectApi)
+{
+    const char *argv[] = {"gpulat", "run", "--gpu", "gf106",
+                          "--workload", "vecadd", "n=4096",
+                          "--json", "-"};
+    std::ostringstream out;
+    std::ostringstream err;
+    const int rc = runCli(static_cast<int>(std::size(argv)), argv,
+                          out, err);
+    EXPECT_EQ(rc, 0) << err.str();
+    EXPECT_EQ(cyclesFromJson(out.str()), directApiCycles());
+}
+
+TEST(Golden, CliBinaryMatchesDirectApi)
+{
+    // Drive the real shipped binary (path provided by CTest); the
+    // CLI-reported cycle count must be bit-identical to the direct
+    // C++ API run of the same preset x workload pair.
+    const char *cli = std::getenv("GPULAT_CLI");
+    if (!cli || !*cli)
+        GTEST_SKIP() << "GPULAT_CLI not set (run under ctest)";
+
+    const std::string cmd = std::string(cli) +
+        " run --gpu gf106 --workload vecadd n=4096 --json - 2>&1";
+    FILE *pipe = popen(cmd.c_str(), "r");
+    ASSERT_NE(pipe, nullptr);
+    std::string output;
+    char buf[4096];
+    while (std::fgets(buf, sizeof(buf), pipe))
+        output += buf;
+    const int status = pclose(pipe);
+    EXPECT_EQ(status, 0) << output;
+    EXPECT_EQ(cyclesFromJson(output), directApiCycles());
+}
+
+TEST(Golden, OverridesChangeTheMachine)
+{
+    // A --set override must actually reach the simulated hardware:
+    // starving the SM of warp slots slows vecadd down.
+    ExperimentSpec narrow;
+    narrow.gpu = "gf106";
+    narrow.workload = "vecadd";
+    narrow.params = {"n=2048"};
+    narrow.overrides = {"sm.warpSlots=8", "sm.maxBlocksPerSm=1"};
+    ExperimentSpec wide = narrow;
+    wide.overrides = {"sm.warpSlots=48"};
+    const Cycle slow = runExperiment(narrow).cycles;
+    const Cycle fast = runExperiment(wide).cycles;
+    EXPECT_GT(slow, fast);
+}
+
+} // namespace
+} // namespace gpulat

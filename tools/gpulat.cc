@@ -1,0 +1,16 @@
+/**
+ * @file
+ * The `gpulat` binary: one scriptable entry point for the whole
+ * experiment matrix (preset x workload x overrides). All logic
+ * lives in the library (api/cli.hh) so tests run the same path.
+ */
+
+#include <iostream>
+
+#include "api/cli.hh"
+
+int
+main(int argc, char **argv)
+{
+    return gpulat::runCli(argc, argv, std::cout, std::cerr);
+}
