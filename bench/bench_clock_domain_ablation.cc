@@ -6,6 +6,12 @@
  * Figure 1 — adding the clock-ratio dimension the single-clock
  * simulator could not express.
  *
+ * Driven through the experiment API: every point is one
+ * ExperimentSpec, sweeps run concurrently on the ParallelRunner
+ * (`--jobs N`, 0 = hardware concurrency, records stream to
+ * `--json/--csv` sinks), and with more than one worker the DRAM
+ * sweep is re-run serially to report the measured speedup.
+ *
  * Three experiments:
  *   1. DRAM-clock sweep under load (BFS): per-stage latency
  *      breakdown vs DRAM frequency.
@@ -18,47 +24,63 @@
 #include <chrono>
 #include <iomanip>
 #include <iostream>
+#include <string>
 #include <vector>
 
-#include "gpu/gpu.hh"
+#include "api/parallel_runner.hh"
 #include "latency/breakdown.hh"
-#include "microbench/pchase.hh"
-#include "workloads/bfs.hh"
 
 using namespace gpulat;
 
 namespace {
 
-GpuConfig
-baseConfig()
+/** gf106 shrunk to 4 SMs / 2 partitions, as config overrides. */
+std::vector<std::string>
+baseOverrides()
 {
-    GpuConfig cfg = makeGF106();
-    cfg.numSms = 4;
-    cfg.numPartitions = 2;
-    cfg.deviceMemBytes = 64 * 1024 * 1024;
-    return cfg;
+    return {"numSms=4", "numPartitions=2",
+            "deviceMemBytes=" + std::to_string(64 * 1024 * 1024)};
 }
 
-struct SweepPoint
-{
-    const char *label;
-    ClockRatio ratio;
-};
-
-const std::vector<SweepPoint> kDramSweep{
-    {"2:1", {2, 1}}, {"1:1", {1, 1}}, {"2:3", {2, 3}},
-    {"1:2", {1, 2}}, {"1:3", {1, 3}},
-};
-
-const std::vector<SweepPoint> kIcntSweep{
-    {"2:1", {2, 1}}, {"1:1", {1, 1}}, {"1:2", {1, 2}},
-};
+const std::vector<std::string> kDramSweep{"2/1", "1/1", "2/3",
+                                          "1/2", "1/3"};
+const std::vector<std::string> kIcntSweep{"2/1", "1/1", "1/2"};
 
 double
 wallMs(const std::chrono::steady_clock::time_point &t0)
 {
     using ms = std::chrono::duration<double, std::milli>;
     return ms(std::chrono::steady_clock::now() - t0).count();
+}
+
+ExperimentSpec
+loadSpec(const std::string &knob, const std::string &ratio)
+{
+    ExperimentSpec spec;
+    spec.gpu = "gf106";
+    spec.workload = "bfs";
+    spec.params = {"kind=rmat", "scale=12", "degree=8"};
+    spec.overrides = baseOverrides();
+    spec.overrides.push_back(knob + "=" + ratio);
+    return spec;
+}
+
+ExperimentSpec
+chaseSpec(const std::vector<std::string> &extra_overrides,
+          std::uint64_t timed_accesses)
+{
+    ExperimentSpec spec;
+    spec.gpu = "gf106";
+    spec.workload = "pchase";
+    spec.params = {"footprintBytes=" +
+                       std::to_string(4 * 1024 * 1024), // DRAM
+                   "strideBytes=512",
+                   "timedAccesses=" +
+                       std::to_string(timed_accesses)};
+    spec.overrides = baseOverrides();
+    for (const std::string &o : extra_overrides)
+        spec.overrides.push_back(o);
+    return spec;
 }
 
 void
@@ -72,7 +94,8 @@ printHeader()
 }
 
 void
-printPoint(const char *label, Cycle cycles, const Breakdown &bd)
+printPoint(const std::string &label, Cycle cycles,
+           const Breakdown &bd)
 {
     std::uint64_t total = 0;
     for (auto v : bd.totalByStage)
@@ -94,59 +117,87 @@ printPoint(const char *label, Cycle cycles, const Breakdown &bd)
     std::cout << "\n";
 }
 
-bool
-sweepUnderLoad(const char *what,
-               const std::vector<SweepPoint> &sweep,
-               ClockRatio GpuConfig::*knob)
+/** @return {all points verified, wall-clock ms}. */
+std::pair<bool, double>
+sweepUnderLoad(const char *what, const std::string &knob,
+               const std::vector<std::string> &sweep,
+               std::size_t workers, MultiSink &sinks, bool quiet)
 {
-    bool all_correct = true;
-    std::cout << "\n== " << what
-              << "-clock sweep under load (BFS, RMAT scale 12) ==\n"
-              << "stage columns: % of aggregate fetch latency\n";
-    printHeader();
-    for (const SweepPoint &pt : sweep) {
-        GpuConfig cfg = baseConfig();
-        cfg.*knob = pt.ratio;
-        Gpu gpu(cfg);
+    std::vector<ExperimentSpec> specs;
+    for (const std::string &ratio : sweep)
+        specs.push_back(loadSpec(knob, ratio));
 
-        Bfs::Options opts;
-        opts.kind = Bfs::GraphKind::Rmat;
-        opts.scale = 12;
-        opts.degree = 8;
-        Bfs bfs(opts);
-        const WorkloadResult result = bfs.run(gpu);
-        if (!result.correct) {
-            std::cout << pt.label << ": FUNCTIONAL MISMATCH\n";
+    if (!quiet) {
+        std::cout << "\n== " << what
+                  << "-clock sweep under load (BFS, RMAT scale 12, "
+                  << workers << (workers == 1 ? " job" : " jobs")
+                  << ") ==\n"
+                  << "stage columns: % of aggregate fetch latency\n";
+        printHeader();
+    }
+
+    // The chart needs the raw latency traces, so each point's
+    // breakdown is computed on the worker thread into its own slot.
+    std::vector<Breakdown> breakdowns(specs.size());
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto outcomes = ParallelRunner(workers).run(
+        specs,
+        [&](std::size_t index, Gpu &gpu, const ExperimentRecord &) {
+            breakdowns[index] =
+                computeBreakdown(gpu.latencies().traces(), 32);
+        });
+    const double ms = wallMs(t0);
+
+    bool all_correct = true;
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        if (outcomes[i].failed) {
+            std::cout << sweep[i]
+                      << ": ERROR: " << outcomes[i].error << "\n";
             all_correct = false;
             continue;
         }
-        const Breakdown bd =
-            computeBreakdown(gpu.latencies().traces(), 32);
-        printPoint(pt.label, result.cycles, bd);
+        const ExperimentRecord &rec = outcomes[i].record;
+        if (!quiet)
+            sinks.write(rec);
+        if (!rec.correct) {
+            std::cout << sweep[i] << ": FUNCTIONAL MISMATCH\n";
+            all_correct = false;
+            continue;
+        }
+        if (!quiet)
+            printPoint(sweep[i], rec.cycles, breakdowns[i]);
     }
-    return all_correct;
+    return {all_correct, ms};
 }
 
-void
-idleLatencySweep()
+bool
+idleLatencySweep(std::size_t workers, MultiSink &sinks)
 {
     std::cout << "\n== idle DRAM latency vs DRAM clock "
                  "(pointer chase, Table-I style) ==\n";
     std::cout << std::setw(6) << "ratio" << std::setw(16)
               << "cycles/access" << "\n";
-    for (const SweepPoint &pt : kDramSweep) {
-        GpuConfig cfg = baseConfig();
-        cfg.dramClock = pt.ratio;
-        Gpu gpu(cfg);
-        PChaseConfig pc;
-        pc.footprintBytes = 4 * 1024 * 1024; // DRAM-resident
-        pc.strideBytes = 512;
-        pc.timedAccesses = 256;
-        const PChaseResult r = runPointerChase(gpu, pc);
-        std::cout << std::setw(6) << pt.label << std::setw(16)
+
+    std::vector<ExperimentSpec> specs;
+    for (const std::string &ratio : kDramSweep)
+        specs.push_back(chaseSpec({"dramClock=" + ratio}, 256));
+    const auto outcomes = ParallelRunner(workers).run(specs);
+
+    bool ok = true;
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        if (outcomes[i].failed || !outcomes[i].record.correct) {
+            std::cout << kDramSweep[i] << ": FAILED\n";
+            ok = false;
+            continue;
+        }
+        sinks.write(outcomes[i].record);
+        std::cout << std::setw(6) << kDramSweep[i] << std::setw(16)
                   << std::fixed << std::setprecision(1)
-                  << r.cyclesPerAccess << "\n";
+                  << outcomes[i].record.metric(
+                         "pchase_cycles_per_access")
+                  << "\n";
     }
+    return ok;
 }
 
 bool
@@ -162,24 +213,32 @@ fastForwardEffect()
     Cycle cycles_on = 0;
     Cycle cycles_off = 0;
     for (const bool ff : {true, false}) {
-        GpuConfig cfg = baseConfig();
-        cfg.idleFastForward = ff;
-        Gpu gpu(cfg);
-        PChaseConfig pc;
-        pc.footprintBytes = 4 * 1024 * 1024;
-        pc.strideBytes = 512;
-        pc.timedAccesses = 2048;
+        const ExperimentSpec spec = chaseSpec(
+            {std::string("idleFastForward=") + (ff ? "on" : "off")},
+            2048);
+        std::uint64_t steps = 0;
+        std::uint64_t skipped = 0;
+        Cycle now = 0;
         const auto t0 = std::chrono::steady_clock::now();
-        runPointerChase(gpu, pc);
+        const auto outcomes = ParallelRunner(1).run(
+            {spec},
+            [&](std::size_t, Gpu &gpu, const ExperimentRecord &) {
+                steps = gpu.engine().steps();
+                skipped = gpu.engine().skippedCycles();
+                now = gpu.now();
+            });
         const double ms = wallMs(t0);
-        (ff ? cycles_on : cycles_off) = gpu.now();
+        if (outcomes[0].failed || !outcomes[0].record.correct) {
+            std::cout << "chase FAILED\n";
+            return false;
+        }
+        (ff ? cycles_on : cycles_off) = now;
         std::cout << std::setw(16)
                   << (ff ? "fast-forward" : "naive")
                   << std::setw(12) << std::fixed
                   << std::setprecision(1) << ms << std::setw(14)
-                  << gpu.engine().steps() << std::setw(14)
-                  << gpu.engine().skippedCycles() << std::setw(12)
-                  << gpu.now() << "\n";
+                  << steps << std::setw(14) << skipped
+                  << std::setw(12) << now << "\n";
     }
     std::cout << (cycles_on == cycles_off
                       ? "simulated cycles identical: OK\n"
@@ -190,15 +249,37 @@ fastForwardEffect()
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    std::cout << "Clock-domain ablation on " << baseConfig().name
-              << " (core : icnt : L2 : DRAM, default 1:1:1:1)\n";
+    MultiSink sinks;
+    std::size_t jobs = 0; // default: hardware concurrency
+    addOutputSinks(sinks, argc, argv, &jobs);
+    const std::size_t workers = resolveJobs(jobs);
 
-    bool ok =
-        sweepUnderLoad("DRAM", kDramSweep, &GpuConfig::dramClock);
-    ok &= sweepUnderLoad("ICNT", kIcntSweep, &GpuConfig::icntClock);
-    idleLatencySweep();
+    std::cout << "Clock-domain ablation on gf106 (4 SMs / 2 "
+                 "partitions; core : icnt : L2 : DRAM, default "
+                 "1:1:1:1)\n";
+
+    auto [dram_ok, dram_ms] = sweepUnderLoad(
+        "DRAM", "dramClock", kDramSweep, workers, sinks, false);
+    bool ok = dram_ok;
+    ok &= sweepUnderLoad("ICNT", "icntClock", kIcntSweep, workers,
+                         sinks, false)
+              .first;
+    ok &= idleLatencySweep(workers, sinks);
     ok &= fastForwardEffect();
+    sinks.finish();
+
+    if (workers > 1) {
+        // Measured multi-core speedup: the same DRAM sweep, serial.
+        const auto [serial_ok, serial_ms] = sweepUnderLoad(
+            "DRAM", "dramClock", kDramSweep, 1, sinks, true);
+        ok &= serial_ok;
+        std::cout << "\nDRAM sweep wall-clock: " << std::fixed
+                  << std::setprecision(0) << serial_ms
+                  << " ms serial vs " << dram_ms << " ms with "
+                  << workers << " jobs (" << std::setprecision(2)
+                  << serial_ms / dram_ms << "x)\n";
+    }
     return ok ? 0 : 1;
 }

@@ -9,12 +9,19 @@
  * DRAM queue-to-scheduled (arbitration) components.
  *
  * Driven through the experiment API; the chart and ranking read the
- * raw latency traces via the run's inspect hook.
+ * raw latency traces via the run's inspect hook. A second section
+ * runs the same BFS (RMAT scale 12) across every GPU preset on the
+ * ParallelRunner (`--jobs N`, 0 = hardware concurrency) and compares
+ * the stage mix per generation.
  */
 
+#include <chrono>
+#include <iomanip>
 #include <iostream>
+#include <sstream>
 
-#include "api/experiment.hh"
+#include "api/config_override.hh"
+#include "api/parallel_runner.hh"
 #include "latency/breakdown.hh"
 #include "latency/summary.hh"
 
@@ -24,7 +31,8 @@ main(int argc, char **argv)
     using namespace gpulat;
 
     MultiSink sinks;
-    addOutputSinks(sinks, argc, argv);
+    std::size_t jobs = 0; // default: hardware concurrency
+    addOutputSinks(sinks, argc, argv, &jobs);
 
     ExperimentSpec spec;
     spec.workload = "bfs";
@@ -64,8 +72,65 @@ main(int argc, char **argv)
                     << "\n";
             }
         });
-
     sinks.write(rec);
+    bool ok = rec.correct;
+
+    // Stage mix per GPU generation: one BFS cell per preset, run
+    // concurrently; records carry the stage percentages, so no
+    // inspect hook is needed and output order is spec order.
+    const std::size_t workers = resolveJobs(jobs);
+    std::vector<ExperimentSpec> specs;
+    for (const std::string &preset : configNames()) {
+        ExperimentSpec cell;
+        cell.gpu = preset;
+        cell.workload = "bfs";
+        cell.params = {"kind=rmat", "scale=12", "degree=8"};
+        specs.push_back(std::move(cell));
+    }
+
+    std::cout << "\nStage mix per GPU generation (BFS, RMAT scale "
+                 "12, " << workers
+              << (workers == 1 ? " job" : " jobs") << "):\n"
+              << std::right << std::setw(10) << "gpu"
+              << std::setw(10) << "cycles" << std::setw(9) << "mean";
+    for (std::size_t s = 0; s < kNumStages; ++s)
+        std::cout << std::setw(10) << toString(static_cast<Stage>(s));
+    std::cout << "\n";
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto outcomes = ParallelRunner(workers).run(specs);
+    const std::chrono::duration<double, std::milli> wall =
+        std::chrono::steady_clock::now() - t0;
+
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        if (outcomes[i].failed) {
+            std::cout << specs[i].gpu
+                      << ": ERROR: " << outcomes[i].error << "\n";
+            ok = false;
+            continue;
+        }
+        const ExperimentRecord &r = outcomes[i].record;
+        sinks.write(r);
+        ok = ok && r.correct;
+        std::cout << std::right << std::setw(10) << r.gpu
+                  << std::setw(10) << r.cycles << std::setw(9)
+                  << std::fixed << std::setprecision(1)
+                  << r.metric("mean_load_latency");
+        for (std::size_t s = 0; s < kNumStages; ++s) {
+            const double pct = r.metric(
+                "stage_pct." +
+                stageMetricSlug(static_cast<Stage>(s)));
+            std::ostringstream cell;
+            cell << std::fixed << std::setprecision(1) << pct
+                 << "%";
+            std::cout << std::setw(10) << cell.str();
+        }
+        std::cout << "\n";
+    }
+    std::cout << specs.size() << " presets, " << workers
+              << (workers == 1 ? " job, " : " jobs, ") << std::fixed
+              << std::setprecision(0) << wall.count() << " ms\n";
+
     sinks.finish();
-    return rec.correct ? 0 : 1;
+    return ok ? 0 : 1;
 }

@@ -4,7 +4,12 @@
  * memory pipeline (L1 hit / L2 hit / DRAM) measured by single-thread
  * pointer chasing on the four simulated GPU generations.
  *
- * Paper reference values (clock cycles):
+ * Driven through the experiment API: every probe is one `pchase`
+ * ExperimentSpec (preset x memory level), the cells run concurrently
+ * on the ParallelRunner (`--jobs N`, 0 = hardware concurrency), the
+ * records stream to any `--json/--csv` sinks, and the bench exits
+ * nonzero unless every measured cell verifies (chain provably
+ * followed) and lands within tolerance of the paper's reference:
  *
  *   Unit   GT200  GF106  GK104  GM107
  *   L1 D$  x      45     30     x
@@ -12,30 +17,192 @@
  *   DRAM   440    685    300    350
  */
 
+#include <chrono>
+#include <iomanip>
 #include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
 
+#include "api/parallel_runner.hh"
+#include "gpu/gpu_config.hh"
 #include "microbench/table1.hh"
 
-int
-main()
+using namespace gpulat;
+
+namespace {
+
+/** Acceptable relative deviation from the paper's cycle counts. */
+constexpr double kTolerance = 0.10;
+
+struct Probe
 {
-    using namespace gpulat;
+    std::string gpu;     ///< preset name
+    const char *unit;    ///< "L1 D$" / "L2 D$" / "DRAM"
+    double paperCycles;  ///< reference value (0 = none published)
+    ExperimentSpec spec;
+};
+
+ExperimentSpec
+probeSpec(const GpuConfig &cfg, const char *space,
+          std::uint64_t footprint, bool warmup)
+{
+    ExperimentSpec spec;
+    spec.gpu = cfg.name;
+    spec.workload = "pchase";
+    spec.params = {
+        std::string("space=") + space,
+        "footprintBytes=" + std::to_string(footprint),
+        "strideBytes=" + std::to_string(cfg.sm.lineBytes),
+        "timedAccesses=1024",
+        warmup ? "warmup=true" : "warmup=false",
+    };
+    // Local chases need the per-thread local window to hold the
+    // whole chain (same adjustment sweepFootprints() makes).
+    if (std::string(space) == "local") {
+        spec.overrides = {"localBytesPerThread=" +
+                          std::to_string(footprint)};
+    }
+    return spec;
+}
+
+/**
+ * The probe plan, derived from each preset's cache topology like
+ * measureGeneration(): a half-capacity footprint pins the chase to
+ * one hierarchy level; beyond the last cache the (cold) chase skips
+ * its warm-up traversal.
+ */
+std::vector<Probe>
+buildProbes()
+{
+    std::vector<Probe> probes;
+    struct PaperColumn
+    {
+        const char *preset;
+        double l1, l2, dram; ///< 0 = not published ("x")
+    };
+    const std::vector<PaperColumn> paper{
+        {"gt200", 0, 0, 440},
+        {"gf106", 45, 310, 685},
+        {"gk104", 30, 175, 300},
+        {"gm107", 0, 194, 350},
+    };
+
+    for (const PaperColumn &col : paper) {
+        const GpuConfig cfg = makeConfig(col.preset);
+        const std::uint64_t l1 = cfg.sm.l1Cache.capacityBytes;
+        const std::uint64_t l2 = cfg.totalL2Bytes();
+
+        if (cfg.sm.l1Enabled && cfg.sm.l1CachesGlobal) {
+            probes.push_back({col.preset, "L1 D$", col.l1,
+                              probeSpec(cfg, "global", l1 / 2,
+                                        true)});
+        } else if (cfg.sm.l1Enabled && cfg.sm.l1CachesLocal) {
+            // Kepler: the L1 is visible through local space only.
+            probes.push_back({col.preset, "L1 D$", col.l1,
+                              probeSpec(cfg, "local", l1 / 2,
+                                        true)});
+        }
+        if (cfg.partition.l2Enabled) {
+            probes.push_back({col.preset, "L2 D$", col.l2,
+                              probeSpec(cfg, "global", l2 / 2,
+                                        true)});
+        }
+        const std::uint64_t dram_fp =
+            l2 ? l2 * 3 : std::uint64_t{1} << 20;
+        probes.push_back({col.preset, "DRAM", col.dram,
+                          probeSpec(cfg, "global", dram_fp, false)});
+    }
+    return probes;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    MultiSink sinks;
+    std::size_t jobs = 0; // default: hardware concurrency
+    addOutputSinks(sinks, argc, argv, &jobs);
 
     std::cout << "Table I: Latencies of memory loads through the "
                  "global memory pipeline\n"
-              << "(measured by pointer-chase microbenchmark; "
+              << "(pchase experiment cells on the ParallelRunner; "
                  "cycles in the hot clock domain)\n\n";
 
-    Table1Options opts;
-    opts.timedAccesses = 1024;
-    opts.fullLadder = true;
-    const auto columns = measureTable1(opts);
+    const std::vector<Probe> probes = buildProbes();
+    std::vector<ExperimentSpec> specs;
+    specs.reserve(probes.size());
+    for (const Probe &p : probes)
+        specs.push_back(p.spec);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::size_t workers = resolveJobs(jobs);
+    const auto outcomes = ParallelRunner(workers).run(specs);
+    const std::chrono::duration<double, std::milli> wall =
+        std::chrono::steady_clock::now() - t0;
+
+    // Assemble the paper's table from the records.
+    std::vector<Table1Column> columns;
+    bool ok = true;
+    for (std::size_t i = 0; i < probes.size(); ++i) {
+        const Probe &probe = probes[i];
+        if (columns.empty() || columns.back().gpu != probe.gpu)
+            columns.push_back(Table1Column{probe.gpu, {}, {}, {}});
+
+        if (outcomes[i].failed) {
+            std::cout << probe.gpu << " " << probe.unit
+                      << ": ERROR: " << outcomes[i].error << "\n";
+            ok = false;
+            continue;
+        }
+        const ExperimentRecord &rec = outcomes[i].record;
+        sinks.write(rec);
+        if (!rec.correct) {
+            std::cout << probe.gpu << " " << probe.unit
+                      << ": chase chain did not verify\n";
+            ok = false;
+        }
+        const double cycles =
+            rec.metric("pchase_cycles_per_access");
+        auto &column = columns.back();
+        if (std::string(probe.unit) == "L1 D$")
+            column.l1 = cycles;
+        else if (std::string(probe.unit) == "L2 D$")
+            column.l2 = cycles;
+        else
+            column.dram = cycles;
+    }
+    sinks.finish();
+
     printTable1(std::cout, columns);
 
-    std::cout << "\npaper reference:\n"
-              << "Unit   GT200  GF106  GK104  GM107\n"
-              << "L1 D$  x      45     30     x\n"
-              << "L2 D$  x      310    175    194\n"
-              << "DRAM   440    685    300    350\n";
-    return 0;
+    std::cout << "\nverification against the paper (tolerance "
+              << std::fixed << std::setprecision(0)
+              << kTolerance * 100 << "%):\n";
+    for (std::size_t i = 0; i < probes.size(); ++i) {
+        const Probe &probe = probes[i];
+        if (probe.paperCycles == 0 || outcomes[i].failed)
+            continue;
+        const double measured =
+            outcomes[i].record.metric("pchase_cycles_per_access");
+        const double rel =
+            (measured - probe.paperCycles) / probe.paperCycles;
+        const bool pass = rel >= -kTolerance && rel <= kTolerance;
+        ok = ok && pass;
+        std::cout << "  " << std::left << std::setw(6) << probe.gpu
+                  << std::setw(7) << probe.unit << std::right
+                  << std::setw(7) << std::setprecision(1) << measured
+                  << "  paper " << std::setw(4)
+                  << std::setprecision(0) << probe.paperCycles
+                  << "  " << std::showpos << std::setprecision(1)
+                  << rel * 100 << "%" << std::noshowpos
+                  << (pass ? "" : "  OUT OF TOLERANCE") << "\n";
+    }
+
+    std::cout << "\n" << probes.size() << " probes, " << workers
+              << (workers == 1 ? " job, " : " jobs, ")
+              << std::setprecision(0) << wall.count() << " ms\n"
+              << (ok ? "PASSED" : "FAILED") << "\n";
+    return ok ? 0 : 1;
 }

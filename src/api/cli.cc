@@ -1,13 +1,17 @@
 #include "api/cli.hh"
 
+#include <chrono>
 #include <cstdlib>
+#include <iomanip>
 #include <iostream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "api/config_override.hh"
 #include "api/experiment.hh"
+#include "api/parallel_runner.hh"
 #include "api/workload_registry.hh"
 #include "common/log.hh"
 #include "common/table.hh"
@@ -39,6 +43,12 @@ usage(std::ostream &err)
            "  --json FILE|-      write JSON records\n"
            "  --csv FILE|-       write CSV records\n"
            "  --no-table         suppress the text table\n"
+           "  --jobs N           run up to N experiments "
+           "concurrently (default 1;\n"
+           "                     0 = hardware concurrency; output "
+           "is byte-identical\n"
+           "                     to --jobs 1, committed in sweep "
+           "order)\n"
            "  --report KIND      summary|fig1|fig2|all per-run "
            "latency reports\n"
            "  --buckets N        report latency buckets "
@@ -125,6 +135,7 @@ struct CliOptions
     std::string report;
     std::size_t buckets = 48;
     bool dumpStats = false;
+    std::size_t jobs = 1; ///< 0 = hardware concurrency
 };
 
 /** Parse run/sweep arguments; returns false after printing usage. */
@@ -157,6 +168,8 @@ parseRunArgs(const std::vector<std::string> &args, CliOptions &opts,
             opts.report = next();
         } else if (arg == "--buckets") {
             opts.buckets = parseSize(arg, next());
+        } else if (arg == "--jobs") {
+            opts.jobs = parseJobs(next());
         } else if (arg == "--stats") {
             opts.dumpStats = true;
         } else if (arg.rfind("--", 0) == 0) {
@@ -213,45 +226,80 @@ runOrSweep(const CliOptions &opts, bool allow_sweep,
     if (opts.table && !stdoutTaken)
         sinks.add(std::make_unique<TextTableSink>(out));
 
-    bool allCorrect = true;
-    for (const ExperimentSpec &spec : runs) {
-        auto inspect = [&](Gpu &gpu, const ExperimentRecord &rec) {
-            if (opts.report.empty() && !opts.dumpStats)
-                return;
-            if (stdoutTaken) {
-                fatal("--report/--stats write to stdout; use a "
-                      "file for --json/--csv");
-            }
-            out << "=== " << rec.gpu << " x " << rec.workload;
-            for (const auto &[k, v] : rec.overrides)
-                out << " " << k << "=" << v;
-            out << " ===\n";
-            const bool all = opts.report == "all";
-            if (opts.report == "summary" || all) {
-                computeSummary(gpu.latencies().traces()).print(out);
-                out << "\n";
-            }
-            if (opts.report == "fig1" || all) {
-                computeBreakdown(gpu.latencies().traces(),
-                                 opts.buckets)
-                    .printChart(out);
-                out << "\n";
-            }
-            if (opts.report == "fig2" || all) {
-                computeExposure(gpu.exposure().records(),
-                                opts.buckets)
-                    .printChart(out);
-                out << "\n";
-            }
-            if (opts.dumpStats)
-                gpu.stats().dump(out);
-        };
-        const ExperimentRecord rec = runExperiment(spec, inspect);
-        allCorrect = allCorrect && rec.correct;
-        sinks.write(rec);
+    const bool wantsReport = !opts.report.empty() || opts.dumpStats;
+    if (wantsReport && stdoutTaken) {
+        fatal("--report/--stats write to stdout; use a file for "
+              "--json/--csv");
     }
+
+    // Reports need the still-live Gpu, so they render on the worker
+    // thread into an index-private slot; the commit below prints
+    // them in sweep order, keeping --jobs N output byte-identical
+    // to --jobs 1.
+    std::vector<std::string> reports(runs.size());
+    auto inspect = [&](std::size_t index, Gpu &gpu,
+                       const ExperimentRecord &rec) {
+        if (!wantsReport)
+            return;
+        std::ostringstream ros;
+        ros << "=== " << rec.gpu << " x " << rec.workload;
+        for (const auto &[k, v] : rec.overrides)
+            ros << " " << k << "=" << v;
+        ros << " ===\n";
+        const bool all = opts.report == "all";
+        if (opts.report == "summary" || all) {
+            computeSummary(gpu.latencies().traces()).print(ros);
+            ros << "\n";
+        }
+        if (opts.report == "fig1" || all) {
+            computeBreakdown(gpu.latencies().traces(), opts.buckets)
+                .printChart(ros);
+            ros << "\n";
+        }
+        if (opts.report == "fig2" || all) {
+            computeExposure(gpu.exposure().records(), opts.buckets)
+                .printChart(ros);
+            ros << "\n";
+        }
+        if (opts.dumpStats)
+            gpu.stats().dump(ros);
+        reports[index] = ros.str();
+    };
+
+    bool allCorrect = true;
+    bool anyFailed = false;
+    auto commit = [&](std::size_t index, const JobOutcome &outcome) {
+        if (outcome.failed) {
+            const ExperimentSpec &spec = runs[index];
+            err << "run " << index << " (" << spec.gpu << " x "
+                << spec.workload << "): " << outcome.error << "\n";
+            anyFailed = true;
+            return;
+        }
+        out << reports[index];
+        allCorrect = allCorrect && outcome.record.correct;
+        sinks.write(outcome.record);
+    };
+
+    const std::size_t jobs = resolveJobs(opts.jobs);
+    const auto t0 = std::chrono::steady_clock::now();
+    ParallelRunner runner(jobs);
+    runner.run(runs, inspect, commit);
     sinks.finish();
 
+    // Wall-clock goes to stderr only: record streams carry no
+    // timing, so --jobs 1 and --jobs N stdout/file output diffs
+    // clean (the CI determinism gate relies on this).
+    if (runs.size() > 1) {
+        const std::chrono::duration<double, std::milli> wall =
+            std::chrono::steady_clock::now() - t0;
+        err << runs.size() << " experiments, " << jobs
+            << (jobs == 1 ? " job, " : " jobs, ") << std::fixed
+            << std::setprecision(0) << wall.count() << " ms\n";
+    }
+
+    if (anyFailed)
+        return 2;
     if (!allCorrect)
         err << "FAILED: at least one workload did not verify\n";
     return allCorrect ? 0 : 1;

@@ -9,8 +9,12 @@
  *                [--set path=value ...] [--scale S]
  *                [--json FILE|-] [--csv FILE|-] [--no-table]
  *                [--report summary|fig1|fig2|all] [--stats]
+ *                [--jobs N]
  *   gpulat sweep same flags; comma-separated values in key=value /
- *                --set expand to the cartesian product
+ *                --set expand to the cartesian product; --jobs N
+ *                runs up to N cells concurrently (0 = hardware
+ *                concurrency) with output byte-identical to
+ *                --jobs 1
  */
 
 #ifndef GPULAT_API_CLI_HH

@@ -10,11 +10,9 @@
 
 namespace gpulat {
 
-namespace {
-
 /** "DRAM(QtoSch)" -> "dram_qtosch": stable metric-key slug. */
 std::string
-stageSlug(Stage stage)
+stageMetricSlug(Stage stage)
 {
     const std::string name = toString(stage);
     std::string slug;
@@ -30,6 +28,8 @@ stageSlug(Stage stage)
         slug.pop_back();
     return slug;
 }
+
+namespace {
 
 /** Merged effective workload parameters: scaled bench defaults
  *  under the user's explicit assignments. */
@@ -76,6 +76,11 @@ collectRecord(Gpu &gpu, const ExperimentSpec &spec,
     rec.instructions = result.instructions;
     rec.launches = result.launches;
 
+    // Workload-specific headline metrics ride along verbatim (the
+    // workload owns their naming; see WorkloadResult::metrics).
+    for (const auto &[name, value] : result.metrics)
+        rec.metrics[name] = value;
+
     rec.metrics["ipc"] = result.cycles
         ? static_cast<double>(result.instructions) /
               static_cast<double>(result.cycles)
@@ -100,7 +105,8 @@ collectRecord(Gpu &gpu, const ExperimentSpec &spec,
     for (const auto v : bd.totalByStage)
         stage_total += v;
     for (std::size_t s = 0; s < kNumStages; ++s) {
-        rec.metrics["stage_pct." + stageSlug(static_cast<Stage>(s))] =
+        rec.metrics["stage_pct." +
+                    stageMetricSlug(static_cast<Stage>(s))] =
             stage_total
             ? 100.0 * static_cast<double>(bd.totalByStage[s]) /
                   static_cast<double>(stage_total)

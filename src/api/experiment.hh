@@ -18,8 +18,16 @@
 
 #include "api/stat_sink.hh"
 #include "gpu/gpu.hh"
+#include "latency/stages.hh"
 
 namespace gpulat {
+
+/**
+ * The stable metric-key slug of a pipeline stage:
+ * rec.metrics["stage_pct." + stageMetricSlug(s)] is that stage's
+ * share of aggregate fetch latency ("DRAM(QtoSch)" -> "dram_qtosch").
+ */
+std::string stageMetricSlug(Stage stage);
 
 /** One experiment, fully described by strings. */
 struct ExperimentSpec

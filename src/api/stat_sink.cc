@@ -5,6 +5,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "api/parallel_runner.hh"
 #include "common/log.hh"
 #include "common/table.hh"
 
@@ -224,13 +225,20 @@ MultiSink::finish()
 
 void
 addOutputSinks(MultiSink &sinks, int argc,
-               const char *const *argv)
+               const char *const *argv, std::size_t *jobs)
 {
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
+        if (arg == "--jobs" && jobs) {
+            if (i + 1 >= argc)
+                fatal("'--jobs' needs a value");
+            *jobs = parseJobs(argv[++i]);
+            continue;
+        }
         if (arg != "--json" && arg != "--csv")
             fatal("unknown bench argument '", arg,
-                  "' (benches take --json FILE / --csv FILE)");
+                  "' (benches take --json FILE / --csv FILE",
+                  jobs ? " / --jobs N)" : ")");
         if (i + 1 >= argc)
             fatal("'", arg, "' needs a file path");
         const std::string path = argv[++i];

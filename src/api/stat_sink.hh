@@ -140,11 +140,14 @@ class MultiSink : public StatSink
 /**
  * Bench-main helper: consume `--json FILE` / `--csv FILE` pairs
  * from a bench's argv and add the matching sinks, so every bench
- * offers machine-readable output for free. fatal() on other
- * arguments.
+ * offers machine-readable output for free. When @p jobs is
+ * non-null, `--jobs N` is also accepted (parseJobs semantics,
+ * 0 = hardware concurrency) so multi-point benches parallelize for
+ * free. fatal() on other arguments.
  */
 void addOutputSinks(MultiSink &sinks, int argc,
-                    const char *const *argv);
+                    const char *const *argv,
+                    std::size_t *jobs = nullptr);
 
 /** Escape and quote a string as a JSON literal. */
 std::string jsonQuote(const std::string &s);

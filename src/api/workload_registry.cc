@@ -4,6 +4,7 @@
 
 #include "common/log.hh"
 #include "workloads/bfs.hh"
+#include "workloads/pchase.hh"
 #include "workloads/compute_stream.hh"
 #include "workloads/gemm.hh"
 #include "workloads/histogram.hh"
@@ -140,6 +141,28 @@ makeScan(const ParamMap &p)
     opts.blockElems = p.getUnsigned("blockElems", opts.blockElems);
     opts.seed = p.getU64("seed", opts.seed);
     return std::make_unique<Scan>(opts);
+}
+
+std::unique_ptr<Workload>
+makePChase(const ParamMap &p)
+{
+    PChase::Options opts;
+    const std::string space = p.getString("space", "global");
+    if (space == "global") {
+        opts.space = MemSpace::Global;
+    } else if (space == "local") {
+        opts.space = MemSpace::Local;
+    } else {
+        fatal("pchase: space must be global|local, got '", space,
+              "'");
+    }
+    opts.footprintBytes =
+        p.getU64("footprintBytes", opts.footprintBytes);
+    opts.strideBytes = p.getU64("strideBytes", opts.strideBytes);
+    opts.timedAccesses =
+        p.getU64("timedAccesses", opts.timedAccesses);
+    opts.warmup = p.getBool("warmup", opts.warmup);
+    return std::make_unique<PChase>(opts);
 }
 
 std::unique_ptr<Workload>
@@ -319,6 +342,23 @@ buildRegistry()
         [](ParamMap &m, double scale) {
             m.set("n", scale >= 0.99 ? "128" : "64");
         },
+    });
+
+    reg.add({
+        "pchase",
+        "single-thread pointer chase; idle-latency probe (Table I)",
+        {{"space", "global", "memory space: global|local"},
+         {"footprintBytes", "65536", "chain footprint in bytes"},
+         {"strideBytes", "128", "chain stride (multiple of 8)"},
+         {"timedAccesses", "2048", "dependent loads in the timed "
+                                   "window"},
+         {"warmup", "true", "traverse the chain once before "
+                            "timing"}},
+        makePChase,
+        [](ParamMap &m, double scale) {
+            m.set("timedAccesses", scale >= 0.99 ? "2048" : "256");
+        },
+        /*benchSuite=*/false,
     });
 
     return reg;

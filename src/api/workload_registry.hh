@@ -46,6 +46,14 @@ struct WorkloadEntry
      * runs). Only sets keys that differ from the factory defaults.
      */
     std::function<void(ParamMap &map, double scale)> scaleDefaults;
+
+    /**
+     * Part of the multi-workload bench-suite set (makeAllWorkloads)?
+     * Microbenches like "pchase" register false: they probe the
+     * machine rather than exercise a kernel pattern, but stay fully
+     * addressable by name through create() and the CLI.
+     */
+    bool benchSuite = true;
 };
 
 class WorkloadRegistry

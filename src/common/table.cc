@@ -95,15 +95,14 @@ StackedBarChart::addBar(const std::string &label,
     bars_.push_back(Bar{label, std::move(parts), annotation});
 }
 
-const char *
+char
 StackedBarChart::glyphFor(std::size_t series)
 {
-    // Distinct single-char glyphs; wraps for >16 series.
-    static const char *glyphs = "#@=+*o.:%&xsdqwz";
-    static char buf[2];
-    buf[0] = glyphs[series % 16];
-    buf[1] = '\0';
-    return buf;
+    // Distinct single-char glyphs; wraps for >16 series. Returned
+    // by value: charts from concurrent experiment jobs must not
+    // share a scratch buffer.
+    static constexpr char glyphs[] = "#@=+*o.:%&xsdqwz";
+    return glyphs[series % 16];
 }
 
 void

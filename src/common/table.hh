@@ -74,7 +74,7 @@ class StackedBarChart
     };
     std::vector<Bar> bars_;
 
-    static const char *glyphFor(std::size_t series);
+    static char glyphFor(std::size_t series);
 };
 
 /** Format a double with fixed precision into a string. */

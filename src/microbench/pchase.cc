@@ -40,6 +40,11 @@ buildChaseKernel(MemSpace space, std::uint64_t warmup_accesses,
     for (std::uint64_t i = 0; i < timed_accesses; ++i)
         b.ld(space, kRegChase, kRegChase);
     b.clock(kRegT1, kRegChase);
+    // One more (untimed) load so the stored pointer sits at chain
+    // position warmup+timed+1: when warmup+timed is a multiple of
+    // the chain length the final pointer would equal the start and
+    // a chase that executed zero loads would verify vacuously.
+    b.ld(space, kRegChase, kRegChase);
 
     b.alu(Opcode::ISUB, kRegDelta, kRegT1, kRegT0);
     b.movParam(kRegOut, 1);
@@ -77,10 +82,11 @@ runPointerChase(Gpu &gpu, const PChaseConfig &cfg)
 
     const Addr out = gpu.alloc(16);
 
+    PChaseResult result;
     std::vector<RegValue> params{0, out};
+    Addr buf = kNoAddr;
     if (cfg.space == MemSpace::Global) {
-        const Addr buf =
-            gpu.alloc(cfg.footprintBytes, cfg.strideBytes);
+        buf = gpu.alloc(cfg.footprintBytes, cfg.strideBytes);
         std::vector<std::uint64_t> chain(elems);
         for (std::uint64_t i = 0; i < elems; ++i)
             chain[i] = buf + (i + 1) % elems * cfg.strideBytes;
@@ -97,7 +103,10 @@ runPointerChase(Gpu &gpu, const PChaseConfig &cfg)
                   cfg.footprintBytes, ")");
         const Kernel init =
             buildLocalChainInitKernel(elems, cfg.strideBytes);
-        gpu.launch(init, 1, 1, {});
+        const LaunchResult lr = gpu.launch(init, 1, 1, {});
+        result.cycles += lr.cycles;
+        result.instructions += lr.instructions;
+        ++result.launches;
     }
 
     // Don't let the (uninteresting) warm-up and chain-init traffic
@@ -105,13 +114,27 @@ runPointerChase(Gpu &gpu, const PChaseConfig &cfg)
     gpu.latencies().setEnabled(false);
     const Kernel chase =
         buildChaseKernel(cfg.space, warmup, cfg.timedAccesses);
-    gpu.launch(chase, 1, 1, params);
+    const LaunchResult lr = gpu.launch(chase, 1, 1, params);
+    result.cycles += lr.cycles;
+    result.instructions += lr.instructions;
+    ++result.launches;
     gpu.latencies().setEnabled(true);
 
     std::uint64_t delta = 0;
     gpu.copyFromDevice(&delta, out, 8);
 
-    PChaseResult result;
+    // The chase kernel stores its final pointer next to the delta;
+    // check it landed exactly where the circular chain predicts
+    // (the +1 is the kernel's trailing untimed load).
+    std::uint64_t final_ptr = 0;
+    gpu.copyFromDevice(&final_ptr, out + 8, 8);
+    const std::uint64_t steps =
+        (warmup + cfg.timedAccesses + 1) % elems;
+    const std::uint64_t expected = cfg.space == MemSpace::Global
+        ? buf + steps * cfg.strideBytes
+        : steps * cfg.strideBytes;
+    result.chainOk = final_ptr == expected && delta > 0;
+
     result.timedAccesses = cfg.timedAccesses;
     result.timedCycles = delta;
     result.cyclesPerAccess = static_cast<double>(delta) /

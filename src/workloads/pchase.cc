@@ -1,0 +1,23 @@
+#include "workloads/pchase.hh"
+
+namespace gpulat {
+
+WorkloadResult
+PChase::run(Gpu &gpu)
+{
+    const PChaseResult r = runPointerChase(gpu, opts_);
+
+    WorkloadResult result;
+    result.correct = r.chainOk;
+    result.cycles = r.cycles;
+    result.instructions = r.instructions;
+    result.launches = r.launches;
+    result.metrics["pchase_cycles_per_access"] = r.cyclesPerAccess;
+    result.metrics["pchase_timed_cycles"] =
+        static_cast<double>(r.timedCycles);
+    result.metrics["pchase_timed_accesses"] =
+        static_cast<double>(r.timedAccesses);
+    return result;
+}
+
+} // namespace gpulat

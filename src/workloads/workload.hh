@@ -8,6 +8,7 @@
 #ifndef GPULAT_WORKLOADS_WORKLOAD_HH
 #define GPULAT_WORKLOADS_WORKLOAD_HH
 
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -23,6 +24,16 @@ struct WorkloadResult
     Cycle cycles = 0;       ///< total simulated cycles
     std::uint64_t instructions = 0;
     unsigned launches = 0;  ///< kernel launches performed
+
+    /**
+     * Workload-specific headline numbers (e.g. the pointer chase's
+     * "pchase_cycles_per_access"), merged verbatim into
+     * ExperimentRecord::metrics by collectRecord(). Names must not
+     * collide with the standard derived-metric set documented on
+     * ExperimentRecord, and must be stable per workload so sweep
+     * columns never appear or vanish between cells.
+     */
+    std::map<std::string, double> metrics;
 };
 
 class Workload

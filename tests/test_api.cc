@@ -155,13 +155,38 @@ TEST(WorkloadRegistry, ConstructsEveryRegisteredName)
 TEST(WorkloadRegistry, MatchesMakeAllWorkloads)
 {
     // makeAllWorkloads() is implemented on the registry; the
-    // bench-suite set must be exactly the registered names, in
-    // registration order.
+    // bench-suite set must be exactly the registered names flagged
+    // benchSuite, in registration order.
+    const WorkloadRegistry &reg = WorkloadRegistry::instance();
     const auto workloads = makeAllWorkloads(0.05);
-    const auto names = WorkloadRegistry::instance().names();
+    std::vector<std::string> names;
+    for (const std::string &name : reg.names()) {
+        if (reg.find(name)->benchSuite)
+            names.push_back(name);
+    }
     ASSERT_EQ(workloads.size(), names.size());
     for (std::size_t i = 0; i < names.size(); ++i)
         EXPECT_EQ(workloads[i]->name(), names[i]);
+}
+
+TEST(WorkloadRegistry, PChaseIsAddressableButNotBenchSuite)
+{
+    // The microbench registers benchSuite=false: sweepable by name
+    // through the CLI, absent from the kernel-pattern suite.
+    const WorkloadRegistry &reg = WorkloadRegistry::instance();
+    const WorkloadEntry *entry = reg.find("pchase");
+    ASSERT_NE(entry, nullptr);
+    EXPECT_FALSE(entry->benchSuite);
+    for (const auto &w : makeAllWorkloads(0.05))
+        EXPECT_NE(w->name(), "pchase");
+
+    ExperimentSpec spec;
+    spec.gpu = "gf106";
+    spec.workload = "pchase";
+    spec.params = {"footprintBytes=16384", "timedAccesses=64"};
+    const ExperimentRecord rec = runExperiment(spec);
+    EXPECT_TRUE(rec.correct);
+    EXPECT_GT(rec.metric("pchase_cycles_per_access"), 1.0);
 }
 
 TEST(WorkloadRegistry, RejectsUnknownNamesAndParams)

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Tests for the parallel experiment runner: the serial == parallel
+ * golden (byte-identical records for a 2x2 sweep), deterministic
+ * spec-order commits from the caller's thread, exception isolation
+ * between jobs, and `--jobs` parsing edge cases.
+ */
+
+#include <sstream>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "api/cli.hh"
+#include "api/parallel_runner.hh"
+#include "common/log.hh"
+
+namespace gpulat {
+namespace {
+
+/** The canonical 2x2 sweep used by the goldens. */
+std::vector<ExperimentSpec>
+sweep2x2()
+{
+    ExperimentSpec spec;
+    spec.gpu = "gf106";
+    spec.workload = "vecadd";
+    spec.params = {"n=1024,2048"};
+    spec.overrides = {"sm.warpSlots=8,16"};
+    return expandSweep(spec);
+}
+
+/** Render records through the JSON sink: covers every field, so
+ *  equality here is the bit-identical guarantee. */
+std::string
+renderJson(const std::vector<JobOutcome> &outcomes)
+{
+    std::ostringstream os;
+    JsonSink sink(os);
+    for (const JobOutcome &outcome : outcomes) {
+        EXPECT_FALSE(outcome.failed) << outcome.error;
+        sink.write(outcome.record);
+    }
+    sink.finish();
+    return os.str();
+}
+
+TEST(ParallelRunner, SerialEqualsParallelGolden)
+{
+    const auto specs = sweep2x2();
+    ASSERT_EQ(specs.size(), 4u);
+    const auto serial = ParallelRunner(1).run(specs);
+    const auto parallel = ParallelRunner(4).run(specs);
+    EXPECT_EQ(renderJson(serial), renderJson(parallel));
+}
+
+TEST(ParallelRunner, CommitsInSpecOrderOnCallerThread)
+{
+    const auto specs = sweep2x2();
+    const auto caller = std::this_thread::get_id();
+    std::vector<std::size_t> order;
+    ParallelRunner(4).run(
+        specs, {},
+        [&](std::size_t index, const JobOutcome &outcome) {
+            EXPECT_EQ(std::this_thread::get_id(), caller);
+            EXPECT_FALSE(outcome.failed);
+            order.push_back(index);
+        });
+    ASSERT_EQ(order.size(), specs.size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(ParallelRunner, InspectSeesLiveGpuPerIndex)
+{
+    const auto specs = sweep2x2();
+    std::vector<Cycle> inspected(specs.size(), 0);
+    const auto outcomes = ParallelRunner(2).run(
+        specs,
+        [&](std::size_t index, Gpu &gpu,
+            const ExperimentRecord &rec) {
+            // Index-private slot; the live Gpu agrees with the
+            // record it just produced.
+            EXPECT_GE(gpu.now(), rec.cycles);
+            inspected[index] = rec.cycles;
+        });
+    for (std::size_t i = 0; i < specs.size(); ++i)
+        EXPECT_EQ(inspected[i], outcomes[i].record.cycles);
+}
+
+TEST(ParallelRunner, ExceptionInOneJobDoesNotPoisonSiblings)
+{
+    auto specs = sweep2x2();
+    specs[1].overrides = {"sm.noSuchKnob=1"}; // fatal() in-job
+    const auto outcomes = ParallelRunner(4).run(specs);
+    ASSERT_EQ(outcomes.size(), 4u);
+    EXPECT_TRUE(outcomes[1].failed);
+    EXPECT_NE(outcomes[1].error.find("noSuchKnob"),
+              std::string::npos);
+    for (const std::size_t i : {std::size_t{0}, std::size_t{2},
+                                std::size_t{3}}) {
+        EXPECT_FALSE(outcomes[i].failed) << i;
+        EXPECT_TRUE(outcomes[i].record.correct) << i;
+        EXPECT_GT(outcomes[i].record.cycles, 0u) << i;
+    }
+
+    // Same isolation with one worker: --jobs 1 goes through the
+    // identical per-cell capture, not a different code path.
+    const auto serial = ParallelRunner(1).run(specs);
+    EXPECT_TRUE(serial[1].failed);
+    EXPECT_EQ(renderJson({serial[0], serial[2], serial[3]}),
+              renderJson({outcomes[0], outcomes[2], outcomes[3]}));
+}
+
+TEST(ParallelRunner, JobsParsing)
+{
+    EXPECT_EQ(parseJobs("0"), 0u);
+    EXPECT_EQ(parseJobs("1"), 1u);
+    EXPECT_EQ(parseJobs("4"), 4u);
+    // More jobs than cores (or cells) is allowed, not an error.
+    EXPECT_EQ(parseJobs("999"), 999u);
+    EXPECT_THROW(parseJobs(""), FatalError);
+    EXPECT_THROW(parseJobs("abc"), FatalError);
+    EXPECT_THROW(parseJobs("-1"), FatalError);
+    EXPECT_THROW(parseJobs("+2"), FatalError);
+    EXPECT_THROW(parseJobs("1.5"), FatalError);
+    EXPECT_THROW(parseJobs("4x"), FatalError);
+
+    EXPECT_GE(resolveJobs(0), 1u); // hardware concurrency, >= 1
+    EXPECT_EQ(resolveJobs(1), 1u);
+    EXPECT_EQ(resolveJobs(7), 7u);
+}
+
+TEST(ParallelRunner, MoreWorkersThanSpecs)
+{
+    ExperimentSpec spec;
+    spec.gpu = "gf106";
+    spec.workload = "vecadd";
+    spec.params = {"n=1024"};
+    const auto outcomes = ParallelRunner(16).run({spec});
+    ASSERT_EQ(outcomes.size(), 1u);
+    EXPECT_TRUE(outcomes[0].record.correct);
+}
+
+/** Drive the full in-process CLI with a given --jobs value. */
+std::string
+cliSweepJson(const char *jobs, int *rc = nullptr)
+{
+    const char *argv[] = {"gpulat",  "sweep",        "--gpu",
+                          "gf106",   "--workload",   "vecadd",
+                          "n=1024,2048",
+                          "--set",   "sm.warpSlots=8,16",
+                          "--jobs",  jobs,
+                          "--json",  "-"};
+    std::ostringstream out;
+    std::ostringstream err;
+    const int code = runCli(static_cast<int>(std::size(argv)), argv,
+                            out, err);
+    if (rc)
+        *rc = code;
+    EXPECT_EQ(code, 0) << err.str();
+    return out.str();
+}
+
+TEST(Cli, ParallelSweepOutputIsByteIdentical)
+{
+    // The CLI-level determinism gate: stdout (JSON records) must be
+    // byte-for-byte identical across --jobs values; wall-clock goes
+    // to stderr only.
+    const std::string serial = cliSweepJson("1");
+    EXPECT_EQ(serial, cliSweepJson("4"));
+    EXPECT_EQ(serial, cliSweepJson("0")); // hardware concurrency
+}
+
+TEST(Cli, RejectsGarbageJobs)
+{
+    const char *argv[] = {"gpulat", "sweep", "--workload", "vecadd",
+                          "--jobs", "lots"};
+    std::ostringstream out;
+    std::ostringstream err;
+    EXPECT_EQ(runCli(static_cast<int>(std::size(argv)), argv, out,
+                     err),
+              2);
+    EXPECT_NE(err.str().find("--jobs"), std::string::npos);
+}
+
+TEST(Cli, FailedCellReportsButSiblingsComplete)
+{
+    const char *argv[] = {"gpulat", "sweep", "--gpu", "gf106",
+                          "--workload", "vecadd", "n=1024,2048",
+                          "--set", "sm.warpSlots=8,0",
+                          "--jobs", "4", "--json", "-"};
+    std::ostringstream out;
+    std::ostringstream err;
+    const int rc = runCli(static_cast<int>(std::size(argv)), argv,
+                          out, err);
+    EXPECT_EQ(rc, 2);
+    // The two good cells still streamed their records.
+    EXPECT_NE(out.str().find("\"n\": \"1024\""),
+              std::string::npos);
+    EXPECT_NE(err.str().find("run "), std::string::npos);
+}
+
+} // namespace
+} // namespace gpulat

@@ -26,14 +26,15 @@ smallFermi()
 TEST(PChase, ChaseKernelHasExpectedShape)
 {
     const Kernel k = buildChaseKernel(MemSpace::Global, 4, 16);
-    // 2 movs + 4 warmup + clock + 16 timed + clock + isub + mov +
-    // 2 st + exit
-    EXPECT_EQ(k.size(), 2u + 4 + 1 + 16 + 1 + 1 + 1 + 2 + 1);
+    // 2 movs + 4 warmup + clock + 16 timed + clock + 1 trailing
+    // (untimed, anti-vacuous-verification) + isub + mov + 2 st +
+    // exit
+    EXPECT_EQ(k.size(), 2u + 4 + 1 + 16 + 1 + 1 + 1 + 1 + 2 + 1);
     unsigned loads = 0;
     for (const auto &inst : k.code)
         if (inst.isLoad())
             ++loads;
-    EXPECT_EQ(loads, 20u);
+    EXPECT_EQ(loads, 21u);
 }
 
 TEST(PChase, L1ResidentChaseIsFastAndUniform)
