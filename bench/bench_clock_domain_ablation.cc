@@ -17,17 +17,22 @@
  *      breakdown vs DRAM frequency.
  *   2. ICNT-clock sweep under load (BFS).
  *   3. Idle pointer-chase latency vs DRAM clock (Table-I style),
- *      plus the wall-clock effect of the engine's idle
- *      fast-forward on this latency-bound microbench.
+ *      plus the wall-clock effect of every idle fast-forward mode
+ *      (off / full / perDomain) on this latency-bound microbench,
+ *      with per-domain skipped-tick ratios. `--ff-json FILE`
+ *      writes the BENCH_fastforward.json perf-trajectory artifact
+ *      CI's Release job uploads.
  */
 
 #include <chrono>
+#include <fstream>
 #include <iomanip>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "api/parallel_runner.hh"
+#include "common/log.hh"
 #include "latency/breakdown.hh"
 
 using namespace gpulat;
@@ -200,50 +205,144 @@ idleLatencySweep(std::size_t workers, MultiSink &sinks)
     return ok;
 }
 
+/** One fast-forward mode's measured effect on the DRAM chase. */
+struct ModeSample
+{
+    std::string mode;
+    double wallMs = 0.0;
+    std::uint64_t steps = 0;
+    std::uint64_t skippedCycles = 0;
+    Cycle cycles = 0;
+
+    struct DomainShare
+    {
+        std::string name;
+        std::uint64_t ticksRun = 0;
+        std::uint64_t ticksSkipped = 0;
+
+        double
+        skipPct() const
+        {
+            const std::uint64_t total = ticksRun + ticksSkipped;
+            return total ? 100.0 * static_cast<double>(ticksSkipped) /
+                    static_cast<double>(total)
+                         : 0.0;
+        }
+    };
+    std::vector<DomainShare> domains;
+};
+
+/**
+ * The perf-trajectory artifact: wall-clock and per-domain
+ * skipped-tick ratios per fast-forward mode, uploaded by CI's
+ * Release job so fast-forward regressions are visible PR-over-PR.
+ */
+void
+writeFastForwardArtifact(const std::string &path,
+                         const std::vector<ModeSample> &samples)
+{
+    std::ofstream os(path);
+    if (!os)
+        fatal("cannot write '", path, "'");
+    os << "{\n  \"schema\": \"gpulat.bench_fastforward.v1\",\n"
+       << "  \"bench\": \"clock_domain_ablation\",\n"
+       << "  \"workload\": "
+       << jsonQuote("pchase footprintBytes=4194304 strideBytes=512 "
+                    "timedAccesses=2048 (gf106, 4 SMs / 2 parts)")
+       << ",\n  \"modes\": [\n";
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+        const ModeSample &s = samples[i];
+        os << "    {\"mode\": " << jsonQuote(s.mode)
+           << ", \"wall_ms\": " << std::fixed << std::setprecision(2)
+           << s.wallMs << ", \"steps\": " << s.steps
+           << ", \"skipped_cycles\": " << s.skippedCycles
+           << ", \"cycles\": " << s.cycles << ",\n"
+           << "     \"domains\": [";
+        for (std::size_t d = 0; d < s.domains.size(); ++d) {
+            const auto &dom = s.domains[d];
+            os << (d ? ", " : "") << "{\"name\": "
+               << jsonQuote(dom.name)
+               << ", \"ticks_run\": " << dom.ticksRun
+               << ", \"ticks_skipped\": " << dom.ticksSkipped
+               << ", \"skip_pct\": " << std::setprecision(2)
+               << dom.skipPct() << "}";
+        }
+        os << "]}" << (i + 1 < samples.size() ? "," : "") << "\n";
+    }
+    os << "  ],\n  \"speedup\": {";
+    auto wall = [&](const char *mode) {
+        for (const ModeSample &s : samples)
+            if (s.mode == mode)
+                return s.wallMs;
+        return 0.0;
+    };
+    const double off_ms = wall("off");
+    const double full_ms = wall("full");
+    const double per_ms = wall("perDomain");
+    os << "\"full_vs_off\": " << std::setprecision(2)
+       << (full_ms > 0 ? off_ms / full_ms : 0.0)
+       << ", \"perDomain_vs_off\": "
+       << (per_ms > 0 ? off_ms / per_ms : 0.0)
+       << ", \"perDomain_vs_full\": "
+       << (per_ms > 0 ? full_ms / per_ms : 0.0) << "}\n}\n";
+    std::cout << "wrote " << path << "\n";
+}
+
 bool
-fastForwardEffect()
+fastForwardEffect(const std::string &ff_json_path)
 {
     std::cout << "\n== idle fast-forward on a latency-bound "
                  "microbench (single-warp DRAM chase) ==\n";
-    std::cout << std::setw(16) << "mode" << std::setw(12) << "wall ms"
+    std::cout << std::setw(12) << "mode" << std::setw(12) << "wall ms"
               << std::setw(14) << "loop steps" << std::setw(14)
               << "skipped cyc" << std::setw(12) << "cycles"
-              << "\n";
+              << "   per-domain skip % (core/icnt/l2/dram)\n";
 
-    Cycle cycles_on = 0;
-    Cycle cycles_off = 0;
-    for (const bool ff : {true, false}) {
+    std::vector<ModeSample> samples;
+    for (const char *mode : {"off", "full", "perDomain"}) {
         const ExperimentSpec spec = chaseSpec(
-            {std::string("idleFastForward=") + (ff ? "on" : "off")},
-            2048);
-        std::uint64_t steps = 0;
-        std::uint64_t skipped = 0;
-        Cycle now = 0;
+            {std::string("idleFastForward=") + mode}, 2048);
+        ModeSample sample;
+        sample.mode = mode;
         const auto t0 = std::chrono::steady_clock::now();
         const auto outcomes = ParallelRunner(1).run(
             {spec},
             [&](std::size_t, Gpu &gpu, const ExperimentRecord &) {
-                steps = gpu.engine().steps();
-                skipped = gpu.engine().skippedCycles();
-                now = gpu.now();
+                sample.steps = gpu.engine().steps();
+                sample.skippedCycles = gpu.engine().skippedCycles();
+                sample.cycles = gpu.now();
+                for (const auto &d : gpu.engine().domains()) {
+                    sample.domains.push_back(
+                        {d->name(), d->componentTicksRun(),
+                         d->componentTicksSkipped()});
+                }
             });
-        const double ms = wallMs(t0);
+        sample.wallMs = wallMs(t0);
         if (outcomes[0].failed || !outcomes[0].record.correct) {
-            std::cout << "chase FAILED\n";
+            std::cout << "chase FAILED under idleFastForward="
+                      << mode << "\n";
             return false;
         }
-        (ff ? cycles_on : cycles_off) = now;
-        std::cout << std::setw(16)
-                  << (ff ? "fast-forward" : "naive")
-                  << std::setw(12) << std::fixed
-                  << std::setprecision(1) << ms << std::setw(14)
-                  << steps << std::setw(14) << skipped
-                  << std::setw(12) << now << "\n";
+        std::cout << std::setw(12) << mode << std::setw(12)
+                  << std::fixed << std::setprecision(1)
+                  << sample.wallMs << std::setw(14) << sample.steps
+                  << std::setw(14) << sample.skippedCycles
+                  << std::setw(12) << sample.cycles << "   ";
+        for (std::size_t d = 0; d < sample.domains.size(); ++d)
+            std::cout << (d ? "/" : "") << std::setprecision(1)
+                      << sample.domains[d].skipPct();
+        std::cout << "\n";
+        samples.push_back(std::move(sample));
     }
-    std::cout << (cycles_on == cycles_off
-                      ? "simulated cycles identical: OK\n"
-                      : "simulated cycles DIFFER: BUG\n");
-    return cycles_on == cycles_off;
+
+    bool ok = true;
+    for (const ModeSample &s : samples)
+        ok &= s.cycles == samples.front().cycles;
+    std::cout << (ok ? "simulated cycles identical: OK\n"
+                     : "simulated cycles DIFFER: BUG\n");
+    if (!ff_json_path.empty())
+        writeFastForwardArtifact(ff_json_path, samples);
+    return ok;
 }
 
 } // namespace
@@ -251,9 +350,24 @@ fastForwardEffect()
 int
 main(int argc, char **argv)
 {
+    // Pull out `--ff-json FILE` (the perf-trajectory artifact path)
+    // before handing the standard --json/--csv/--jobs set over.
+    std::string ff_json;
+    std::vector<const char *> rest{argv[0]};
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--ff-json") {
+            if (i + 1 >= argc)
+                fatal("'--ff-json' needs a file path");
+            ff_json = argv[++i];
+            continue;
+        }
+        rest.push_back(argv[i]);
+    }
+
     MultiSink sinks;
     std::size_t jobs = 0; // default: hardware concurrency
-    addOutputSinks(sinks, argc, argv, &jobs);
+    addOutputSinks(sinks, static_cast<int>(rest.size()), rest.data(),
+                   &jobs);
     const std::size_t workers = resolveJobs(jobs);
 
     std::cout << "Clock-domain ablation on gf106 (4 SMs / 2 "
@@ -267,7 +381,7 @@ main(int argc, char **argv)
                          sinks, false)
               .first;
     ok &= idleLatencySweep(workers, sinks);
-    ok &= fastForwardEffect();
+    ok &= fastForwardEffect(ff_json);
     sinks.finish();
 
     if (workers > 1) {

@@ -73,6 +73,20 @@ parseValue(const std::string &path, const std::string &text, T &dst)
         dst = text;
     } else if constexpr (std::is_same_v<T, ClockRatio>) {
         dst = parseClockRatio(text);
+    } else if constexpr (std::is_same_v<T, IdleFastForward>) {
+        // Legacy boolean spellings keep pre-enum sweeps working:
+        // "on"/true was the whole-pipeline skip, now called full.
+        if (text == "off" || text == "0" || text == "false") {
+            dst = IdleFastForward::Off;
+        } else if (text == "full" || text == "on" || text == "1" ||
+                   text == "true") {
+            dst = IdleFastForward::Full;
+        } else if (text == "perDomain" || text == "perdomain" ||
+                   text == "per-domain") {
+            dst = IdleFastForward::PerDomain;
+        } else {
+            fatal(path, ": '", text, "' is not off|full|perDomain");
+        }
     } else if constexpr (std::is_same_v<T, SchedPolicy>) {
         if (text == "lrr") dst = SchedPolicy::LRR;
         else if (text == "gto") dst = SchedPolicy::GTO;
@@ -110,6 +124,12 @@ formatValue(const T &v)
         return v;
     } else if constexpr (std::is_same_v<T, ClockRatio>) {
         return formatClockRatio(v);
+    } else if constexpr (std::is_same_v<T, IdleFastForward>) {
+        switch (v) {
+          case IdleFastForward::Off: return "off";
+          case IdleFastForward::Full: return "full";
+          default: return "perDomain";
+        }
     } else if constexpr (std::is_same_v<T, SchedPolicy>) {
         return v == SchedPolicy::LRR ? "lrr" : "gto";
     } else if constexpr (std::is_same_v<T, DramSchedPolicy>) {
@@ -156,7 +176,7 @@ buildKeys()
         GPULAT_CFG_KEY(icntClock, "ratio M/D"),
         GPULAT_CFG_KEY(l2Clock, "ratio M/D"),
         GPULAT_CFG_KEY(dramClock, "ratio M/D"),
-        GPULAT_CFG_KEY(idleFastForward, "bool"),
+        GPULAT_CFG_KEY(idleFastForward, "off|full|perDomain"),
         GPULAT_CFG_KEY(icntLatency, "cycles"),
         GPULAT_CFG_KEY(icntInQueue, "uint"),
         GPULAT_CFG_KEY(icntOutQueue, "uint"),

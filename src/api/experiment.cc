@@ -168,6 +168,26 @@ collectRecord(Gpu &gpu, const ExperimentSpec &spec,
     }
     rec.metrics["mean_dram_queue_wait"] = wait.mean();
 
+    // Fast-forward effectiveness: the share of each clock domain's
+    // scheduled component ticks the engine provably skipped this
+    // epoch (0 with idleFastForward=off; perDomain strictly beats
+    // full on latency-bound runs). The raw totals ride along in
+    // rec.counters as engine.<domain>.ticks_run/_skipped via the
+    // generic counter loop above.
+    for (const auto &domain : gpu.engine().domains()) {
+        const std::string prefix = "engine." + domain->name();
+        auto counter = [&](const char *suffix) -> std::uint64_t {
+            const auto it = rec.counters.find(prefix + suffix);
+            return it == rec.counters.end() ? 0 : it->second;
+        };
+        const std::uint64_t run = counter(".ticks_run");
+        const std::uint64_t skipped = counter(".ticks_skipped");
+        rec.metrics["ff_skip_pct." + domain->name()] = run + skipped
+            ? 100.0 * static_cast<double>(skipped) /
+                  static_cast<double>(run + skipped)
+            : 0.0;
+    }
+
     return rec;
 }
 

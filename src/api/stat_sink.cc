@@ -45,6 +45,22 @@ jsonNumber(double v)
     return oss.str();
 }
 
+/**
+ * A metric cell: missing and non-finite values render as the
+ * sink's null marker instead of a locale-dependent "nan"/"inf"
+ * token (or a fabricated 0.0) — the cell-level analogue of
+ * jsonNumber's null.
+ */
+std::string
+metricCell(const ExperimentRecord &rec, const std::string &name,
+           int precision, const char *null_marker)
+{
+    const auto it = rec.metrics.find(name);
+    if (it == rec.metrics.end() || !std::isfinite(it->second))
+        return null_marker;
+    return formatDouble(it->second, precision);
+}
+
 } // namespace
 
 std::string
@@ -96,11 +112,11 @@ TextTableSink::finish()
             r.correct ? "yes" : "NO",
             std::to_string(r.cycles),
             std::to_string(r.instructions),
-            formatDouble(r.metric("ipc"), 2),
-            formatDouble(r.metric("mean_load_latency"), 1),
-            formatDouble(r.metric("exposed_pct"), 1)};
+            metricCell(r, "ipc", 2, "-"),
+            metricCell(r, "mean_load_latency", 1, "-"),
+            metricCell(r, "exposed_pct", 1, "-")};
         for (const std::string &m : extraMetrics_)
-            row.push_back(formatDouble(r.metric(m), 1));
+            row.push_back(metricCell(r, m, 1, "-"));
         table.addRow(std::move(row));
     }
     table.print(os_);
@@ -185,19 +201,22 @@ CsvSink::write(const ExperimentRecord &record)
                "dram_row_hit_pct,mean_dram_queue_wait\n";
         wroteHeader_ = true;
     }
-    os_ << record.gpu << ',' << record.workload << ','
-        << joinPairs(record.params, ";") << ','
-        << joinPairs(record.overrides, ";") << ','
+    // RFC-4180: free-text fields are quoted when they carry the
+    // delimiter, quotes or line breaks; numeric cells are emitted
+    // by metricCell/formatDouble and never need quoting.
+    os_ << csvField(record.gpu) << ',' << csvField(record.workload)
+        << ',' << csvField(joinPairs(record.params, ";")) << ','
+        << csvField(joinPairs(record.overrides, ";")) << ','
         << (record.correct ? "true" : "false") << ','
         << record.cycles << ',' << record.instructions << ','
         << record.launches << ','
-        << formatDouble(record.metric("ipc"), 4) << ','
-        << formatDouble(record.metric("requests"), 0) << ','
-        << formatDouble(record.metric("mean_load_latency"), 2) << ','
-        << formatDouble(record.metric("exposed_pct"), 2) << ','
-        << formatDouble(record.metric("l1_hit_pct"), 2) << ','
-        << formatDouble(record.metric("dram_row_hit_pct"), 2) << ','
-        << formatDouble(record.metric("mean_dram_queue_wait"), 2)
+        << metricCell(record, "ipc", 4, "") << ','
+        << metricCell(record, "requests", 0, "") << ','
+        << metricCell(record, "mean_load_latency", 2, "") << ','
+        << metricCell(record, "exposed_pct", 2, "") << ','
+        << metricCell(record, "l1_hit_pct", 2, "") << ','
+        << metricCell(record, "dram_row_hit_pct", 2, "") << ','
+        << metricCell(record, "mean_dram_queue_wait", 2, "")
         << '\n';
 }
 

@@ -39,10 +39,13 @@ struct ExperimentRecord
     /**
      * Derived metrics with stable names: "ipc", "requests",
      * "mean_load_latency", "exposed_pct", "l1_hit_pct",
-     * "dram_row_hit_pct", "mean_dram_queue_wait", and one
-     * "stage_pct.<stage>" per pipeline stage (collectRecord() in
-     * api/experiment.hh fills them all, always, so columns never
-     * appear or vanish between runs).
+     * "dram_row_hit_pct", "mean_dram_queue_wait", one
+     * "stage_pct.<stage>" per pipeline stage, and one
+     * "ff_skip_pct.<domain>" per engine clock domain — the share
+     * of that domain's scheduled component ticks the idle
+     * fast-forward skipped (collectRecord() in api/experiment.hh
+     * fills them all, always, so columns never appear or vanish
+     * between runs).
      */
     std::map<std::string, double> metrics;
 
@@ -111,7 +114,13 @@ class JsonSink : public FileBackedSink
     bool first_ = true;
 };
 
-/** CSV with a fixed header row (params/overrides ';'-joined). */
+/**
+ * CSV with a fixed header row (params/overrides ';'-joined).
+ * Fields follow RFC 4180: free-text cells containing the
+ * delimiter, quotes or line breaks are quoted with embedded quotes
+ * doubled; missing/non-finite metric cells are left empty (the
+ * cell-level analogue of the JSON sink's null).
+ */
 class CsvSink : public FileBackedSink
 {
   public:

@@ -17,6 +17,21 @@ formatDouble(double v, int precision)
     return oss.str();
 }
 
+std::string
+csvField(const std::string &s)
+{
+    if (s.find_first_of(",\"\n\r") == std::string::npos)
+        return s;
+    std::string out = "\"";
+    for (const char c : s) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
 TextTable::TextTable(std::vector<std::string> header)
     : header_(std::move(header))
 {
@@ -66,10 +81,7 @@ TextTable::printCsv(std::ostream &os) const
         for (std::size_t c = 0; c < row.size(); ++c) {
             if (c)
                 os << ",";
-            if (row[c].find(',') != std::string::npos)
-                os << '"' << row[c] << '"';
-            else
-                os << row[c];
+            os << csvField(row[c]);
         }
         os << "\n";
     };

@@ -26,7 +26,7 @@ class TextTable
     /** Render with padded columns and a rule under the header. */
     void print(std::ostream &os) const;
 
-    /** Render as CSV (no padding, comma-separated, quoted commas). */
+    /** Render as CSV (no padding, RFC-4180 quoting via csvField). */
     void printCsv(std::ostream &os) const;
 
     std::size_t rows() const { return rows_.size(); }
@@ -79,6 +79,15 @@ class StackedBarChart
 
 /** Format a double with fixed precision into a string. */
 std::string formatDouble(double v, int precision = 1);
+
+/**
+ * RFC-4180 CSV field: returned verbatim unless it contains the
+ * delimiter, a double quote or a line break, in which case it is
+ * wrapped in double quotes with embedded quotes doubled — so a
+ * param value like `label=a,"b"` can no longer shear a row apart
+ * (and silently break byte-diff gates on the emitted files).
+ */
+std::string csvField(const std::string &s);
 
 } // namespace gpulat
 

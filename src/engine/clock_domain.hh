@@ -14,8 +14,10 @@
 #ifndef GPULAT_ENGINE_CLOCK_DOMAIN_HH
 #define GPULAT_ENGINE_CLOCK_DOMAIN_HH
 
+#include <cstdint>
 #include <string>
 
+#include "common/stats.hh"
 #include "engine/clocked.hh"
 
 namespace gpulat {
@@ -64,10 +66,57 @@ class ClockDomain
     /** Domain-local cycle count (ticks performed so far). */
     Cycle localCycles() const { return ticks_; }
 
+    /**
+     * @name Fast-forward effectiveness
+     * Component-tick accounting, summed over every component
+     * registered in this domain: a component that performs one of
+     * its scheduled domain ticks notes it run; a tick provably
+     * dead (slept through or jumped) is noted skipped. The ratio
+     * skipped / (run + skipped) is the share of this domain's
+     * simulator work the engine avoided. When bound, the totals
+     * mirror into StatRegistry counters
+     * `engine.<domain>.ticks_run` / `engine.<domain>.ticks_skipped`
+     * so experiment records pick them up as epoch deltas.
+     * @{
+     */
+    void
+    noteRun(std::uint64_t n)
+    {
+        ticksRun_ += n;
+        if (runCounter_)
+            runCounter_->inc(n);
+    }
+
+    void
+    noteSkipped(std::uint64_t n)
+    {
+        ticksSkipped_ += n;
+        if (skipCounter_)
+            skipCounter_->inc(n);
+    }
+
+    std::uint64_t componentTicksRun() const { return ticksRun_; }
+    std::uint64_t componentTicksSkipped() const { return ticksSkipped_; }
+
+    /** Mirror the note counters into @p stats (idempotent names). */
+    void
+    bindStats(StatRegistry &stats)
+    {
+        runCounter_ = &stats.counter("engine." + name_ + ".ticks_run");
+        skipCounter_ =
+            &stats.counter("engine." + name_ + ".ticks_skipped");
+    }
+    /** @} */
+
   private:
     std::string name_;
     ClockRatio ratio_;
     Cycle ticks_ = 0;
+
+    std::uint64_t ticksRun_ = 0;
+    std::uint64_t ticksSkipped_ = 0;
+    Counter *runCounter_ = nullptr;
+    Counter *skipCounter_ = nullptr;
 };
 
 } // namespace gpulat

@@ -12,12 +12,23 @@
  * core-cycle axis, cross-domain handoffs need no unit conversion.
  *
  * Idle fast-forward contract: nextEventAt() is a *promise* that
- * tick() is a pure no-op — no state change, no statistics — at
- * every scheduled tick before the returned cycle. The engine uses
- * the minimum over all components to jump dead windows (e.g. the
- * drain tail of a launch) in one step. fastForward() then lets a
+ * tick() is a pure no-op — no state change, no statistics beyond
+ * what fastForward() reproduces — at every scheduled tick before
+ * the returned cycle, PROVIDED no other component delivers input in
+ * the meantime. The engine tracks delivery paths as wake edges
+ * (TickEngine::link()) and re-queries a consumer's promise after a
+ * producer ticks, so nextEventAt() must reflect delivered state at
+ * *any* query time: timestamps read from queue heads do so
+ * naturally; state a delivery changes without leaving a queue
+ * entry behind (e.g. a load response completing a warp's register
+ * dependency) must raise a woke flag that forces "active now"
+ * until the next tick observes it. fastForward() then lets a
  * component account for the skipped cycles (per-cycle idle
- * statistics) so results are bit-identical to naive ticking.
+ * statistics) so results are bit-identical to naive ticking; it
+ * must be additive, i.e. fastForward(a, b) + fastForward(b, c) must
+ * leave the same state as fastForward(a, c), because the
+ * per-domain stepper splits one dead window at every cycle it
+ * visits for some *other* domain's event.
  */
 
 #ifndef GPULAT_ENGINE_CLOCKED_HH
@@ -45,6 +56,27 @@ struct ClockRatio
     {
         return static_cast<double>(mul) / static_cast<double>(div);
     }
+};
+
+/**
+ * Idle fast-forward policy of the TickEngine (see GpuConfig's
+ * `idleFastForward` knob; every mode is cycle-exact by
+ * construction, they differ only in how much simulator work they
+ * avoid):
+ *  - Off: naive reference — every component ticks on every
+ *    scheduled cycle and no promises are ever consulted;
+ *  - Full: jump only windows where *every* component is idle (the
+ *    pre-PR4 behaviour, e.g. the post-grid drain tail);
+ *  - PerDomain: event-scheduled — each component sleeps through to
+ *    its own cached next-event promise, so the DRAM domain ticks
+ *    through a long bank wait while core/icnt/L2 components sleep,
+ *    and vice versa.
+ */
+enum class IdleFastForward
+{
+    Off,
+    Full,
+    PerDomain,
 };
 
 /** A component the TickEngine advances. */

@@ -6,6 +6,21 @@
 
 namespace gpulat {
 
+namespace {
+
+/** Scheduled ticks of @p ratio landing in the window [from, to). */
+Cycle
+ticksIn(Cycle from, Cycle to, ClockRatio ratio)
+{
+    GPULAT_ASSERT(to > from, "empty tick window");
+    const Cycle upto = ClockDomain::ticksThrough(to - 1, ratio);
+    if (from == 0)
+        return upto;
+    return upto - ClockDomain::ticksThrough(from - 1, ratio);
+}
+
+} // namespace
+
 ClockDomain &
 TickEngine::addDomain(std::string name, ClockRatio ratio)
 {
@@ -27,7 +42,49 @@ TickEngine::add(ClockDomain &domain, Clocked &component)
     for (const auto &reg : order_)
         GPULAT_ASSERT(reg.component != &component,
                       "component registered twice");
-    order_.push_back(Registration{&domain, idx, &component});
+    Registration reg;
+    reg.domain = &domain;
+    reg.domainIdx = idx;
+    reg.component = &component;
+    order_.push_back(std::move(reg));
+}
+
+std::size_t
+TickEngine::indexOf(const Clocked &component) const
+{
+    for (std::size_t i = 0; i < order_.size(); ++i)
+        if (order_[i].component == &component)
+            return i;
+    GPULAT_ASSERT(false, "component not registered");
+    return order_.size();
+}
+
+void
+TickEngine::link(Clocked &producer, Clocked &consumer)
+{
+    const std::size_t src = indexOf(producer);
+    const std::size_t dst = indexOf(consumer);
+    auto &edges = order_[src].consumers;
+    if (std::find(edges.begin(), edges.end(), dst) == edges.end())
+        edges.push_back(dst);
+}
+
+void
+TickEngine::bindStats(StatRegistry &stats)
+{
+    for (auto &domain : domains_)
+        domain->bindStats(stats);
+}
+
+void
+TickEngine::account(Registration &reg, Cycle to)
+{
+    if (reg.accountedThrough >= to)
+        return;
+    const Cycle from = reg.accountedThrough;
+    reg.accountedThrough = to;
+    reg.component->fastForward(from, to);
+    reg.domain->noteSkipped(ticksIn(from, to, reg.domain->ratio()));
 }
 
 void
@@ -36,10 +93,42 @@ TickEngine::step()
     for (std::size_t d = 0; d < domains_.size(); ++d)
         due_[d] = domains_[d]->dueTicks(now_);
 
-    for (const auto &reg : order_) {
+    const bool selective = mode_ == IdleFastForward::PerDomain;
+    for (auto &reg : order_) {
         const unsigned n = due_[reg.domainIdx];
+        if (n == 0)
+            continue;
+        if (selective && reg.cacheValid && reg.cachedEvent > now_) {
+            // Promised dead through every scheduled tick before
+            // cachedEvent: sleep, account the window lazily.
+            continue;
+        }
+        // Close idle windows before anything observes per-cycle
+        // statistics: the component's own (idle-cumulative reads
+        // during its tick), then every consumer's — this tick may
+        // deliver into them, and delivery paths read the
+        // consumer's counters (e.g. load-exposure accounting).
+        account(reg, now_);
+        if (selective) {
+            for (const std::size_t c : reg.consumers)
+                account(order_[c], now_);
+        }
         for (unsigned i = 0; i < n; ++i)
             reg.component->tick(now_);
+        reg.accountedThrough = now_ + 1;
+        reg.domain->noteRun(n);
+        reg.refreshDue = true;
+        if (selective) {
+            // The tick may have delivered input: a consumer later
+            // in the order must run its scheduled tick this very
+            // cycle (naive ticking would have), so its stale
+            // promise is discarded; consumers whose slot already
+            // passed are simply re-queried after the cycle.
+            for (const std::size_t c : reg.consumers) {
+                order_[c].cacheValid = false;
+                order_[c].refreshDue = true;
+            }
+        }
     }
 
     for (std::size_t d = 0; d < domains_.size(); ++d)
@@ -47,27 +136,58 @@ TickEngine::step()
 
     ++now_;
     ++steps_;
+
+    // Refresh the promise of everything that ticked or was
+    // delivered into, exactly once, after the whole cycle — the
+    // O(changed components) path. Promises reflect all deliveries
+    // at query time (see Clocked), so a quiet consumer re-queried
+    // after a producer's no-op tick keeps its old event and stays
+    // asleep: wake waves die out instead of cascading. Only the
+    // per-domain mode caches: Off never consults promises, and
+    // Full re-queries everything fresh on each fastForward() call
+    // (it has no wake edges to keep a cache honest with).
+    if (selective) {
+        for (auto &reg : order_) {
+            if (!reg.refreshDue)
+                continue;
+            reg.refreshDue = false;
+            reg.cachedEvent = reg.component->nextEventAt(now_);
+            reg.cacheValid = true;
+        }
+    }
 }
 
 Cycle
 TickEngine::fastForward()
 {
+    if (mode_ == IdleFastForward::Off)
+        return 0;
+
+    const bool selective = mode_ == IdleFastForward::PerDomain;
     Cycle target = kNoCycle;
     for (const auto &reg : order_) {
-        Cycle event = reg.component->nextEventAt(now_);
+        // PerDomain trusts the event cache (wake edges keep it
+        // honest; a component without a fresh post-tick promise is
+        // assumed active at its next scheduled tick). Full has no
+        // edges, so it must re-query every component fresh.
+        Cycle event;
+        if (selective)
+            event = reg.cacheValid ? reg.cachedEvent : now_;
+        else
+            event = reg.component->nextEventAt(now_);
         if (event == kNoCycle)
             continue;
         event = std::max(event, now_);
         target = std::min(target,
                           reg.domain->nextTickAtOrAfter(event));
         if (target <= now_)
-            return 0; // something is active right now
+            return 0; // something is due right now
     }
     if (target == kNoCycle || target <= now_)
         return 0;
 
-    for (const auto &reg : order_)
-        reg.component->fastForward(now_, target);
+    for (auto &reg : order_)
+        account(reg, target);
     for (const auto &domain : domains_)
         domain->skipTo(target);
 
@@ -76,6 +196,31 @@ TickEngine::fastForward()
     skippedCycles_ += skipped;
     ++ffWindows_;
     return skipped;
+}
+
+void
+TickEngine::wakeAll()
+{
+    for (auto &reg : order_) {
+        reg.cacheValid = false;
+        reg.refreshDue = false;
+    }
+}
+
+void
+TickEngine::settle()
+{
+    for (auto &reg : order_)
+        account(reg, now_);
+}
+
+std::uint64_t
+TickEngine::componentTicksSkipped() const
+{
+    std::uint64_t sum = 0;
+    for (const auto &domain : domains_)
+        sum += domain->componentTicksSkipped();
+    return sum;
 }
 
 } // namespace gpulat

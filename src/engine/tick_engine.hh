@@ -1,8 +1,11 @@
 /**
  * @file
- * The tick engine: owns the clock domains, advances every
- * registered component in deterministic ratio-correct order, and
- * fast-forwards over windows where all components report idle.
+ * The tick engine: owns the clock domains and advances every
+ * registered component in deterministic ratio-correct order, as an
+ * event-scheduled stepper — each component carries a cached
+ * next-event promise, and the engine only performs the ticks that
+ * might do work, advancing each clock domain independently to its
+ * earliest pending event.
  *
  * Ordering rules (what makes multi-rate simulation reproducible):
  *  - within one core cycle, components tick in registration order,
@@ -14,13 +17,27 @@
  *  - a slower-than-core domain is simply skipped on the core
  *    cycles it is not scheduled on.
  *
- * Fast-forward: after each step the owner may call fastForward(),
- * which queries every component's next event, aligns each to its
- * domain's tick grid, and jumps to the earliest. Components are
- * notified so per-cycle statistics stay bit-identical to naive
- * ticking. This turns the drain tail of a launch (one real loop
- * iteration per simulated cycle in the old code) into a single
- * arithmetic step.
+ * Event cache: after a component ticks, its nextEventAt() promise
+ * is queried exactly once and cached. The cache is discarded when
+ * the component ticks again or when one of its declared producers
+ * (link()) ticks — a producer's tick may deliver input, and a
+ * promise is only required to be valid right after the component's
+ * own tick. A component whose cache says "nothing before cycle E"
+ * is not ticked before E; its scheduled-but-dead ticks are
+ * accounted lazily through fastForward() windows, which keeps
+ * per-cycle statistics bit-identical to naive ticking. The no-skip
+ * path is O(components that changed): a sleeping component's
+ * promise is never re-consulted without an intervening tick.
+ *
+ * Modes (IdleFastForward):
+ *  - Off: tick everything, never consult promises (naive reference);
+ *  - Full: tick everything each visited cycle, jump only windows
+ *    where every component is idle;
+ *  - PerDomain: also let individual components sleep through
+ *    cycles the engine visits for some other domain's event, so a
+ *    long DRAM bank wait no longer drags the core/icnt/L2
+ *    components through per-cycle no-op ticks (and core drain
+ *    tails no longer tick DRAM refresh state cycle by cycle).
  */
 
 #ifndef GPULAT_ENGINE_TICK_ENGINE_HH
@@ -30,6 +47,7 @@
 #include <string>
 #include <vector>
 
+#include "common/stats.hh"
 #include "engine/clock_domain.hh"
 #include "engine/clocked.hh"
 
@@ -48,23 +66,62 @@ class TickEngine
      */
     void add(ClockDomain &domain, Clocked &component);
 
+    /**
+     * Declare a wake edge: a performed tick of @p producer may
+     * deliver input to @p consumer (push a packet, dispatch a
+     * block), invalidating the consumer's cached promise. Both
+     * must already be add()ed. PerDomain mode is only cycle-exact
+     * when every delivery path is declared; Off/Full ignore edges.
+     */
+    void link(Clocked &producer, Clocked &consumer);
+
+    /** Select the fast-forward policy (default Full). */
+    void setMode(IdleFastForward mode) { mode_ = mode; }
+    IdleFastForward mode() const { return mode_; }
+
+    /** Mirror per-domain tick counters into @p stats. */
+    void bindStats(StatRegistry &stats);
+
     /** Current core cycle. */
     Cycle now() const { return now_; }
 
-    /** Tick every due component at now(), then advance one cycle. */
+    /**
+     * Tick every due component that might do work at now(), then
+     * advance one cycle. In PerDomain mode a component whose cached
+     * promise says it is dead at now() is skipped (and accounted
+     * lazily); Off/Full tick everything due.
+     */
     void step();
 
     /**
-     * If every component is idle, jump to the earliest upcoming
-     * event (aligned to its domain's tick grid).
-     * @return cycles skipped (0 when anything is active).
+     * Jump to the earliest upcoming event over all components
+     * (each aligned to its domain's tick grid). In Off mode this
+     * is a no-op.
+     * @return cycles skipped (0 when anything is due right now).
      */
     Cycle fastForward();
+
+    /**
+     * Discard every cached promise. Call after mutating component
+     * state from outside the engine (arming a dispatcher, loading
+     * warps, resetting DRAM): cached promises cannot see external
+     * writes.
+     */
+    void wakeAll();
+
+    /**
+     * Flush lazy idle accounting: every component's fastForward()
+     * windows are closed through now(). Call before reading
+     * per-cycle statistics (end of a launch).
+     */
+    void settle();
 
     /** @name Fast-forward effectiveness (for benches/reports) @{ */
     Cycle skippedCycles() const { return skippedCycles_; }
     std::uint64_t fastForwardWindows() const { return ffWindows_; }
     std::uint64_t steps() const { return steps_; }
+    /** Component ticks skipped, summed over all domains. */
+    std::uint64_t componentTicksSkipped() const;
     /** @} */
 
     const std::vector<std::unique_ptr<ClockDomain>> &domains() const
@@ -78,11 +135,31 @@ class TickEngine
         ClockDomain *domain;
         std::size_t domainIdx;
         Clocked *component;
+
+        /** Raw promise from the last post-tick query (kNoCycle =
+         *  fully drained); meaningless while !cacheValid. */
+        Cycle cachedEvent = 0;
+        bool cacheValid = false;
+        /** Scheduled ticks before this core cycle have all been
+         *  performed or fastForward()-accounted. */
+        Cycle accountedThrough = 0;
+        /** Ticked or delivered into during the current step():
+         *  promise re-query due after the cycle completes. */
+        bool refreshDue = false;
+        /** Registration indices this component can deliver into. */
+        std::vector<std::size_t> consumers;
     };
+
+    std::size_t indexOf(const Clocked &component) const;
+
+    /** Close the lazy idle window [accountedThrough, to). */
+    void account(Registration &reg, Cycle to);
 
     std::vector<std::unique_ptr<ClockDomain>> domains_;
     std::vector<Registration> order_;
     std::vector<unsigned> due_; ///< per-domain scratch for step()
+
+    IdleFastForward mode_ = IdleFastForward::Full;
 
     Cycle now_ = 0;
     Cycle skippedCycles_ = 0;

@@ -130,6 +130,33 @@ Gpu::Gpu(GpuConfig config)
     for (auto &sm : sms_)
         engine_.add(core, *sm);
     engine_.add(core, dispatcher_);
+
+    // Wake edges: every path a performed tick can deliver input
+    // through, so per-domain fast-forward knows whose cached
+    // promise a tick may have invalidated. A consumer stalled on
+    // back-pressure keeps *itself* awake through its own ready
+    // queue heads, so releasing back-pressure needs no edge — in
+    // particular the DRAM side never enqueues L2-side front-queue
+    // work (completions go to the return queue), so there is no
+    // mem-side -> L2-side edge.
+    engine_.link(reqNet_, reqEject_);
+    engine_.link(respNet_, respEject_);
+    engine_.link(respInject_, respNet_);
+    for (std::size_t p = 0; p < partitions_.size(); ++p) {
+        engine_.link(reqEject_, *partL2Sides_[p]);
+        engine_.link(*partL2Sides_[p], *partMemSides_[p]);
+        engine_.link(*partL2Sides_[p], respInject_);
+        engine_.link(*partMemSides_[p], respInject_);
+    }
+    for (auto &sm : sms_) {
+        engine_.link(respEject_, *sm);
+        engine_.link(dispatcher_, *sm);
+        engine_.link(*sm, reqNet_);
+        engine_.link(*sm, dispatcher_);
+    }
+
+    engine_.setMode(config_.idleFastForward);
+    engine_.bindStats(stats_);
 }
 
 Addr
@@ -172,6 +199,8 @@ Gpu::invalidateCaches()
     latCollector_.clear();
     expCollector_.clear();
     stats_.markEpoch();
+    // DRAM open-row/bus state changed behind the engine's back.
+    engine_.wakeAll();
 }
 
 bool
@@ -291,6 +320,9 @@ Gpu::launch(const Kernel &kernel, unsigned num_blocks,
     dispatcher_.beginGrid(num_blocks);
     for (auto &sm : sms_)
         sm->startLaunch(&ctx_);
+    // Arming the dispatcher and loading warps happened outside the
+    // engine: cached promises cannot have seen it.
+    engine_.wakeAll();
 
     const Cycle start = engine_.now();
     const std::uint64_t instr_before =
@@ -310,8 +342,7 @@ Gpu::launch(const Kernel &kernel, unsigned num_blocks,
 
     while (!dispatcher_.allDispatched() || !allDrained()) {
         engine_.step();
-        if (config_.idleFastForward)
-            engine_.fastForward();
+        engine_.fastForward(); // no-op in IdleFastForward::Off
 
         if ((++iters & 0x3fffu) == 0) {
             const std::uint64_t sig = activitySignature();
@@ -323,6 +354,10 @@ Gpu::launch(const Kernel &kernel, unsigned num_blocks,
             }
         }
     }
+
+    // Close every component's lazy idle-accounting window before
+    // anything reads per-cycle statistics.
+    engine_.settle();
 
     LaunchResult result;
     result.startCycle = start;

@@ -49,12 +49,17 @@ struct GpuConfig
     /** @} */
 
     /**
-     * Skip windows where every component is provably idle (the
-     * drain tail of a launch). Cycle-exact by construction; the
-     * knob exists so tests/benches can compare against naive
-     * ticking.
+     * Idle fast-forward policy (cycle-exact by construction in
+     * every mode; see IdleFastForward in engine/clocked.hh):
+     * `Off` ticks naively, `Full` jumps only all-idle windows
+     * (e.g. the drain tail of a launch), `PerDomain` (default)
+     * event-schedules each component independently so a long DRAM
+     * bank wait no longer drags sleeping core/icnt/L2 components
+     * through per-cycle no-op ticks. Dotted override key:
+     * `idleFastForward=off|full|perDomain` (legacy booleans map to
+     * off/full).
      */
-    bool idleFastForward = true;
+    IdleFastForward idleFastForward = IdleFastForward::PerDomain;
 
     /** Per-SM template (smId overwritten per instance). */
     SmParams sm;

@@ -24,7 +24,9 @@ BlockDispatcher::nextEventAt(Cycle now) const
         return kNoCycle;
     // Blocks remain: dispatch happens the moment an SM has room.
     // If none has, room only appears when a resident block retires
-    // — an SM-side event, so it is safe to report idle here.
+    // — an SM-side event, so it is safe to report idle here (the
+    // Gpu declares an SM -> dispatcher wake edge, so a retirement
+    // discards this promise before it could go stale).
     for (const auto &sm : sms_)
         if (sm->canAcceptBlock())
             return now;

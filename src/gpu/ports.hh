@@ -14,6 +14,15 @@
  *
  * The partition's two clock sides (ROP/L2 vs DRAM) get their own
  * adapter types so one MemPartition can straddle two domains.
+ *
+ * Every adapter reports an *accurate per-side* nextEventAt()
+ * promise (the earliest absolute core cycle its own tick could
+ * move anything), never a whole-component busy/idle bit: the
+ * per-domain fast-forward caches these promises and lets each side
+ * sleep independently, so the DRAM side of a partition can probe a
+ * bank wait while its L2 side — and every SM — sleeps. The promise
+ * only needs to be valid right after the adapter's own tick; the
+ * owning Gpu declares the delivery paths as TickEngine wake edges.
  */
 
 #ifndef GPULAT_GPU_PORTS_HH

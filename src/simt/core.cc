@@ -130,6 +130,7 @@ void
 SmCore::dispatchBlock(unsigned block_id)
 {
     GPULAT_ASSERT(canAcceptBlock(), "dispatch without room");
+    wokeSinceTick_ = true;
 
     unsigned block_slot = 0;
     while (blocks_[block_slot].valid)
@@ -808,6 +809,7 @@ SmCore::tick(Cycle now)
     tickLsu(now);
     const bool issued_any = tickIssue(now);
     issuedLastTick_ = issued_any;
+    wokeSinceTick_ = false; // this tick observed all deliveries
 
     if (residentWarps_ > 0) {
         activeStat_->inc();
@@ -823,8 +825,9 @@ SmCore::tick(Cycle now)
 Cycle
 SmCore::nextEventAt(Cycle now) const
 {
-    // The last tick issued: dependent state may cascade next cycle.
-    if (issuedLastTick_)
+    // The last tick issued (dependent state may cascade next
+    // cycle), or a delivery landed since: assume active.
+    if (issuedLastTick_ || wokeSinceTick_)
         return now;
     Cycle e = kNoCycle;
     if (!regWheel_.empty())
@@ -924,6 +927,7 @@ SmCore::occupancySummary() const
 void
 SmCore::acceptResponse(Cycle now, MemRequest req)
 {
+    wokeSinceTick_ = true;
     req.trace.complete = now;
     if (latCollector_ && latCollector_->enabled() && !req.isWrite)
         latCollector_->record(req.trace);

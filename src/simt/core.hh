@@ -117,10 +117,13 @@ class SmCore : public Clocked
     void tick(Cycle now) override;
 
     /**
-     * Earliest cycle tick() might do work again. Valid only right
-     * after a tick: if the last tick issued nothing, issueability
-     * can next change at the earliest wheel/queue event (responses
-     * and block dispatch are events of other components).
+     * Earliest cycle tick() might do work again. Valid at any
+     * query time: if the last tick issued nothing, issueability can
+     * next change at the earliest wheel/queue event — or the moment
+     * another component delivers into the SM (a load response
+     * completing a warp's dependency, a freshly dispatched block),
+     * which raises wokeSinceTick_ so the promise reports "active
+     * now" until the next tick observes the delivery.
      */
     Cycle nextEventAt(Cycle now) const override;
 
@@ -270,6 +273,10 @@ class SmCore : public Clocked
     /** Whether the most recent tick issued any instruction — the
      *  idle-skip guard in nextEventAt() (true = assume active). */
     bool issuedLastTick_ = true;
+    /** An external delivery (response, block dispatch) changed
+     *  warp state since the last tick: the next scheduled tick may
+     *  issue even though every wheel/queue looks quiet. */
+    bool wokeSinceTick_ = false;
 
     Counter *issued_;
     Counter *memInstrs_;

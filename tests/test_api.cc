@@ -7,8 +7,10 @@
  * same run driven through the direct C++ API.
  */
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 #include <regex>
 #include <sstream>
 
@@ -83,7 +85,37 @@ TEST(ConfigOverride, AppliesDottedPaths)
     EXPECT_EQ(cfg.partition.sched, DramSchedPolicy::FCFS);
     EXPECT_EQ(cfg.sm.schedPolicy, SchedPolicy::LRR);
     EXPECT_EQ(cfg.partition.dram.timing.tRCD, 99u);
-    EXPECT_FALSE(cfg.idleFastForward);
+    EXPECT_EQ(cfg.idleFastForward, IdleFastForward::Off);
+}
+
+TEST(ConfigOverride, IdleFastForwardForms)
+{
+    GpuConfig cfg = makeConfig("gf106");
+    EXPECT_EQ(cfg.idleFastForward, IdleFastForward::PerDomain);
+    applyOverride(cfg, "idleFastForward=full");
+    EXPECT_EQ(cfg.idleFastForward, IdleFastForward::Full);
+    applyOverride(cfg, "idleFastForward=perDomain");
+    EXPECT_EQ(cfg.idleFastForward, IdleFastForward::PerDomain);
+    EXPECT_EQ(readOverride(cfg, "idleFastForward"), "perDomain");
+    applyOverride(cfg, "idleFastForward=off");
+    EXPECT_EQ(readOverride(cfg, "idleFastForward"), "off");
+
+    // Legacy boolean spellings: "on"/true was the whole-pipeline
+    // skip, which is now called full.
+    for (const char *legacy_on : {"on", "true", "1"}) {
+        applyOverride(cfg, std::string("idleFastForward=") +
+                               legacy_on);
+        EXPECT_EQ(cfg.idleFastForward, IdleFastForward::Full)
+            << legacy_on;
+    }
+    for (const char *legacy_off : {"false", "0"}) {
+        applyOverride(cfg, std::string("idleFastForward=") +
+                               legacy_off);
+        EXPECT_EQ(cfg.idleFastForward, IdleFastForward::Off)
+            << legacy_off;
+    }
+    EXPECT_THROW(applyOverride(cfg, "idleFastForward=perCore"),
+                 FatalError);
 }
 
 TEST(ConfigOverride, ClockRatioForms)
@@ -329,6 +361,142 @@ TEST(Experiment, RecordCarriesStableMetrics)
     EXPECT_GT(rec.metric("requests"), 0.0);
     // Effective parameters are reported, defaults included.
     EXPECT_EQ(rec.params.at("n"), "2048");
+}
+
+/**
+ * Minimal RFC-4180 reader: split one CSV document into rows of
+ * unescaped fields (quoted fields may contain delimiters, doubled
+ * quotes and line breaks).
+ */
+std::vector<std::vector<std::string>>
+parseCsv(const std::string &text)
+{
+    std::vector<std::vector<std::string>> rows;
+    std::vector<std::string> row;
+    std::string field;
+    bool quoted = false;
+    for (std::size_t i = 0; i < text.size(); ++i) {
+        const char c = text[i];
+        if (quoted) {
+            if (c == '"' && i + 1 < text.size() &&
+                text[i + 1] == '"') {
+                field += '"';
+                ++i;
+            } else if (c == '"') {
+                quoted = false;
+            } else {
+                field += c;
+            }
+        } else if (c == '"') {
+            quoted = true;
+        } else if (c == ',') {
+            row.push_back(std::move(field));
+            field.clear();
+        } else if (c == '\n') {
+            row.push_back(std::move(field));
+            field.clear();
+            rows.push_back(std::move(row));
+            row.clear();
+        } else {
+            field += c;
+        }
+    }
+    return rows;
+}
+
+TEST(StatSinks, CsvQuotesHostileFieldsRoundTrip)
+{
+    // A param value carrying the delimiter, quotes and a newline
+    // must survive write -> RFC-4180 parse intact instead of
+    // shearing the row apart (which silently broke the CI
+    // serial-vs-parallel CSV byte-diff gate's coverage).
+    ExperimentRecord rec;
+    rec.gpu = "gf106";
+    rec.workload = "vecadd";
+    rec.params["label"] = "a,b\"c\"\nd";
+    rec.overrides["name"] = "x,y";
+    rec.correct = true;
+    rec.cycles = 42;
+    rec.metrics["ipc"] = 1.5;
+
+    std::ostringstream csv;
+    CsvSink sink(csv);
+    sink.write(rec);
+    sink.finish();
+
+    const auto rows = parseCsv(csv.str());
+    ASSERT_EQ(rows.size(), 2u);
+    ASSERT_EQ(rows[0].size(), rows[1].size());
+    EXPECT_EQ(rows[1][0], "gf106");
+    EXPECT_EQ(rows[1][2], "label=a,b\"c\"\nd");
+    EXPECT_EQ(rows[1][3], "name=x,y");
+    EXPECT_EQ(rows[1][5], "42");
+    EXPECT_EQ(rows[1][8], "1.5000");
+}
+
+TEST(StatSinks, NonFiniteMetricsRenderAsNullCells)
+{
+    // Missing or NaN/inf metrics must not leak locale-dependent
+    // "nan"/"inf" tokens (or a fabricated 0.0) into the outputs:
+    // empty cell in CSV, "-" in the table, null in JSON.
+    ExperimentRecord rec;
+    rec.gpu = "gf106";
+    rec.workload = "vecadd";
+    rec.correct = true;
+    rec.cycles = 7;
+    rec.metrics["ipc"] = std::nan("");
+    rec.metrics["mean_load_latency"] =
+        std::numeric_limits<double>::infinity();
+    // exposed_pct intentionally absent.
+
+    std::ostringstream csv;
+    CsvSink csink(csv);
+    csink.write(rec);
+    csink.finish();
+    const auto rows = parseCsv(csv.str());
+    ASSERT_EQ(rows.size(), 2u);
+    EXPECT_EQ(rows[1][8], "");  // ipc: NaN
+    EXPECT_EQ(rows[1][10], ""); // mean_load_latency: inf
+    EXPECT_EQ(rows[1][11], ""); // exposed_pct: missing
+    EXPECT_EQ(csv.str().find("nan"), std::string::npos);
+    EXPECT_EQ(csv.str().find("inf"), std::string::npos);
+
+    std::ostringstream table;
+    TextTableSink tsink(table);
+    tsink.write(rec);
+    tsink.finish();
+    EXPECT_NE(table.str().find('-'), std::string::npos);
+    EXPECT_EQ(table.str().find("nan"), std::string::npos);
+    EXPECT_EQ(table.str().find("inf"), std::string::npos);
+
+    std::ostringstream json;
+    JsonSink jsink(json);
+    jsink.write(rec);
+    jsink.finish();
+    EXPECT_NE(json.str().find("\"ipc\": null"), std::string::npos);
+}
+
+TEST(Experiment, RecordCarriesFastForwardSkipMetrics)
+{
+    ExperimentSpec spec;
+    spec.gpu = "gf106";
+    spec.workload = "vecadd";
+    spec.params = {"n=2048"};
+    const ExperimentRecord rec = runExperiment(spec);
+    for (const char *domain : {"core", "icnt", "l2", "dram"}) {
+        const std::string metric =
+            std::string("ff_skip_pct.") + domain;
+        ASSERT_TRUE(rec.metrics.count(metric)) << metric;
+        EXPECT_GE(rec.metric(metric), 0.0) << metric;
+        EXPECT_LE(rec.metric(metric), 100.0) << metric;
+        EXPECT_TRUE(rec.counters.count("engine." +
+                                       std::string(domain) +
+                                       ".ticks_run"))
+            << domain;
+    }
+    // The default perDomain policy skips real work on any run with
+    // memory waits.
+    EXPECT_GT(rec.metric("ff_skip_pct.dram"), 0.0);
 }
 
 TEST(StatSinks, JsonAndCsvRender)

@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
 #include <string>
 #include <utility>
 #include <vector>
@@ -249,6 +250,175 @@ TEST(TickEngine, ActiveComponentBlocksFastForward)
     EXPECT_EQ(engine.now(), 1u);
 }
 
+// ---------------------------------------- per-domain event stepping
+
+/**
+ * Counts ticks and promise consultations, and asserts the event
+ * cache's regression contract: the promise is never consulted
+ * twice without an intervening tick (of this component — no wake
+ * edges point at it in these tests).
+ */
+struct CountingComponent : Clocked
+{
+    explicit CountingComponent(Cycle w) : wake(w) {}
+
+    void
+    tick(Cycle now) override
+    {
+        ++ticks;
+        tickedSinceQuery = true;
+        if (now >= wake)
+            ++ticksAwake;
+    }
+
+    Cycle
+    nextEventAt(Cycle now) const override
+    {
+        EXPECT_TRUE(tickedSinceQuery)
+            << "promise consulted twice without an intervening tick";
+        tickedSinceQuery = false;
+        ++queries;
+        return std::max(now, wake);
+    }
+
+    Cycle wake;
+    unsigned ticks = 0;
+    unsigned ticksAwake = 0;
+    mutable unsigned queries = 0;
+    mutable bool tickedSinceQuery = true;
+};
+
+TEST(TickEngine, PerDomainSleepsComponentsIndependently)
+{
+    // One always-busy component pins the engine to per-cycle
+    // stepping; the sleeper must not be ticked (or its promise
+    // re-consulted) until its own event comes due.
+    TickEngine engine;
+    engine.setMode(IdleFastForward::PerDomain);
+    ClockDomain &core = engine.addDomain("core", ClockRatio{1, 1});
+    CountingComponent busy(0);    // wake 0: active every cycle
+    CountingComponent sleepy(50);
+    engine.add(core, busy);
+    engine.add(core, sleepy);
+
+    while (engine.now() < 50) {
+        engine.step();
+        engine.fastForward();
+    }
+    // The busy component blocked every jump...
+    EXPECT_EQ(engine.skippedCycles(), 0u);
+    EXPECT_EQ(busy.ticks, 50u);
+    // ...while the sleeper was ticked once (cycle 0, to obtain its
+    // first promise) and its promise consulted exactly once.
+    EXPECT_EQ(sleepy.ticks, 1u);
+    EXPECT_EQ(sleepy.queries, 1u);
+
+    engine.step();
+    EXPECT_EQ(sleepy.ticks, 2u);
+    EXPECT_EQ(sleepy.ticksAwake, 1u); // woke exactly on cycle 50
+    EXPECT_EQ(sleepy.queries, 2u);    // re-queried after its tick
+}
+
+TEST(TickEngine, PerDomainAccountsSleptWindowsLazily)
+{
+    TickEngine engine;
+    engine.setMode(IdleFastForward::PerDomain);
+    ClockDomain &core = engine.addDomain("core", ClockRatio{1, 1});
+    ClockDomain &half = engine.addDomain("half", ClockRatio{1, 2});
+    CountingComponent busy(0);
+    SleepyComponent sleepy(101); // half grid: due tick at 102
+    engine.add(core, busy);
+    engine.add(half, sleepy);
+
+    while (engine.now() < 102) {
+        engine.step();
+        engine.fastForward();
+    }
+    engine.settle();
+
+    // Slept windows cover exactly the schedule between the tick at
+    // cycle 0 and the wake at 102 — 50 half-rate ticks — and the
+    // per-domain counters agree.
+    Cycle accounted = 0;
+    for (const auto &[from, to] : sleepy.windows)
+        accounted += ClockDomain::ticksThrough(to - 1, {1, 2}) -
+            ClockDomain::ticksThrough(from - 1, {1, 2});
+    EXPECT_EQ(accounted, 50u);
+    EXPECT_EQ(half.componentTicksSkipped(), 50u);
+    EXPECT_EQ(half.componentTicksRun() + half.componentTicksSkipped(),
+              half.localCycles());
+    EXPECT_EQ(core.componentTicksSkipped(), 0u);
+}
+
+/** Sleeps until an event another component delivers. */
+struct PokeTarget : Clocked
+{
+    void
+    tick(Cycle now) override
+    {
+        if (pending != kNoCycle && now >= pending) {
+            ++work;
+            pending = kNoCycle;
+        }
+    }
+    Cycle
+    nextEventAt(Cycle now) const override
+    {
+        return pending == kNoCycle ? kNoCycle
+                                   : std::max(now, pending);
+    }
+
+    Cycle pending = kNoCycle;
+    unsigned work = 0;
+};
+
+/** Delivers a future event into a PokeTarget at a fixed cycle. */
+struct Poker : Clocked
+{
+    Poker(PokeTarget *t, Cycle w) : target(t), when(w) {}
+    void
+    tick(Cycle now) override
+    {
+        if (!done && now >= when) {
+            target->pending = now + 7;
+            done = true;
+        }
+    }
+    Cycle
+    nextEventAt(Cycle now) const override
+    {
+        return done ? kNoCycle : std::max(now, when);
+    }
+
+    PokeTarget *target;
+    Cycle when;
+    bool done = false;
+};
+
+TEST(TickEngine, WakeEdgeRevealsDeliveredEvents)
+{
+    // Event-scheduled stepping end to end: the engine must visit
+    // only cycles 0 (initial promises), 5 (the poke) and 12 (the
+    // delivered event), jumping every dead window in between.
+    TickEngine engine;
+    engine.setMode(IdleFastForward::PerDomain);
+    ClockDomain &core = engine.addDomain("core", ClockRatio{1, 1});
+    PokeTarget target;
+    Poker poker(&target, 5);
+    engine.add(core, target);
+    engine.add(core, poker);
+    engine.link(poker, target);
+
+    while (engine.now() < 13 && engine.steps() < 64) {
+        engine.step();
+        engine.fastForward();
+    }
+    EXPECT_EQ(target.work, 1u);
+    EXPECT_EQ(engine.steps(), 3u);
+    EXPECT_EQ(engine.now(), 13u);
+    EXPECT_EQ(engine.skippedCycles(), 10u); // [1,5) and [6,12)
+}
+
 // ------------------------------------------- cycle-exact equivalence
 
 /** Small config so tests are fast but still multi-SM/partition. */
@@ -273,6 +443,12 @@ struct RunCapture
     Cycle skipped = 0;
     std::uint64_t steps = 0;
     Cycle endCycle = 0;
+    /** Every simulation counter. The engine.* skip-effectiveness
+     *  meta counters are excluded: they measure how much simulator
+     *  work each mode avoided, so they differ across modes by
+     *  design while everything the simulation *models* must not. */
+    std::map<std::string, std::uint64_t> counters;
+    std::uint64_t compSkipped = 0;
 };
 
 RunCapture
@@ -292,6 +468,13 @@ runWorkload(Workload &wl, GpuConfig cfg)
     cap.skipped = gpu.engine().skippedCycles();
     cap.steps = gpu.engine().steps();
     cap.endCycle = gpu.now();
+    for (const auto &[name, counter] : gpu.stats().counters()) {
+        (void)counter;
+        if (name.rfind("engine.", 0) == 0)
+            continue;
+        cap.counters[name] = gpu.stats().counterValue(name);
+    }
+    cap.compSkipped = gpu.engine().componentTicksSkipped();
     return cap;
 }
 
@@ -315,6 +498,23 @@ expectIdenticalTraces(const std::vector<LatencyTrace> &a,
     }
 }
 
+void
+expectIdenticalRuns(const RunCapture &a, const RunCapture &b)
+{
+    EXPECT_TRUE(a.correct);
+    EXPECT_TRUE(b.correct);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.idleCycles, b.idleCycles);
+    expectIdenticalTraces(a.traces, b.traces);
+    ASSERT_EQ(a.exposure.size(), b.exposure.size());
+    for (std::size_t i = 0; i < a.exposure.size(); ++i) {
+        EXPECT_EQ(a.exposure[i].total, b.exposure[i].total) << i;
+        EXPECT_EQ(a.exposure[i].exposed, b.exposure[i].exposed) << i;
+    }
+    EXPECT_EQ(a.counters, b.counters);
+}
+
 TEST(Engine, FastForwardIsCycleExactOnVecAdd)
 {
     VecAdd::Options o;
@@ -323,9 +523,9 @@ TEST(Engine, FastForwardIsCycleExactOnVecAdd)
     VecAdd wl_naive(o);
 
     GpuConfig on = smallGF106();
-    on.idleFastForward = true;
+    on.idleFastForward = IdleFastForward::Full;
     GpuConfig off = smallGF106();
-    off.idleFastForward = false;
+    off.idleFastForward = IdleFastForward::Off;
 
     const RunCapture ff = runWorkload(wl_ff, on);
     const RunCapture naive = runWorkload(wl_naive, off);
@@ -361,9 +561,9 @@ TEST(Engine, FastForwardIsCycleExactOnBfs)
     Bfs wl_naive(o);
 
     GpuConfig on = smallGF106();
-    on.idleFastForward = true;
+    on.idleFastForward = IdleFastForward::Full;
     GpuConfig off = smallGF106();
-    off.idleFastForward = false;
+    off.idleFastForward = IdleFastForward::Off;
 
     const RunCapture ff = runWorkload(wl_ff, on);
     const RunCapture naive = runWorkload(wl_naive, off);
@@ -443,6 +643,104 @@ TEST(Engine, SeedRegressionVecAddGK104)
     EXPECT_EQ(bd.totalByStage, expected);
 }
 
+// ----------------------------------- three-mode equivalence goldens
+
+/** Run one fresh workload instance under a given policy. */
+template <typename WorkloadT, typename Options>
+RunCapture
+runMode(const Options &options, GpuConfig cfg, IdleFastForward mode)
+{
+    WorkloadT wl(options);
+    cfg.idleFastForward = mode;
+    return runWorkload(wl, std::move(cfg));
+}
+
+TEST(Engine, PerDomainMatchesFullAndOffOnVecAdd)
+{
+    VecAdd::Options o;
+    o.n = 1 << 12;
+    const RunCapture off = runMode<VecAdd>(o, smallGF106(),
+                                           IdleFastForward::Off);
+    const RunCapture full = runMode<VecAdd>(o, smallGF106(),
+                                            IdleFastForward::Full);
+    const RunCapture per = runMode<VecAdd>(
+        o, smallGF106(), IdleFastForward::PerDomain);
+
+    expectIdenticalRuns(off, full);
+    expectIdenticalRuns(off, per);
+    EXPECT_EQ(off.compSkipped, 0u);
+    EXPECT_GT(per.compSkipped, full.compSkipped);
+}
+
+TEST(Engine, PerDomainMatchesUnderNonUnityRatios)
+{
+    // A 1 : 2 : 1 : 1/3 core:icnt:l2:dram machine — double-rate
+    // icnt exercises multi-tick cycles, the slow DRAM grid
+    // exercises skipped-window alignment on a sparse schedule.
+    GpuConfig cfg = smallGF106();
+    cfg.icntClock = ClockRatio{2, 1};
+    cfg.dramClock = ClockRatio{1, 3};
+
+    Bfs::Options o;
+    o.kind = Bfs::GraphKind::Rmat;
+    o.scale = 9;
+    o.degree = 8;
+    const RunCapture off = runMode<Bfs>(o, cfg, IdleFastForward::Off);
+    const RunCapture full =
+        runMode<Bfs>(o, cfg, IdleFastForward::Full);
+    const RunCapture per =
+        runMode<Bfs>(o, cfg, IdleFastForward::PerDomain);
+
+    expectIdenticalRuns(off, full);
+    expectIdenticalRuns(off, per);
+    EXPECT_GT(per.compSkipped, full.compSkipped);
+}
+
+TEST(Engine, PerDomainMatchesOnPchaseLadderAndSkipsMore)
+{
+    // The Table-I style idle-latency ladder: one footprint per
+    // cache level. Latency-bound single-warp chases are where
+    // per-domain skipping must shine — every level must be
+    // cycle/counter-identical across modes, and the per-domain
+    // stepper must provably skip more component ticks than the
+    // all-idle-only policy.
+    std::uint64_t full_skipped = 0;
+    std::uint64_t per_skipped = 0;
+    for (const std::uint64_t footprint :
+         {std::uint64_t{16} * 1024, std::uint64_t{256} * 1024,
+          std::uint64_t{4} * 1024 * 1024}) {
+        std::map<IdleFastForward, Cycle> cycles;
+        std::map<IdleFastForward, std::uint64_t> skipped;
+        for (const IdleFastForward mode :
+             {IdleFastForward::Off, IdleFastForward::Full,
+              IdleFastForward::PerDomain}) {
+            GpuConfig cfg = smallGF106();
+            cfg.idleFastForward = mode;
+            Gpu gpu(std::move(cfg));
+            PChaseConfig pc;
+            pc.space = MemSpace::Global;
+            pc.footprintBytes = footprint;
+            pc.strideBytes = 512;
+            pc.timedAccesses = 128;
+            const PChaseResult r = runPointerChase(gpu, pc);
+            cycles[mode] = r.timedCycles;
+            skipped[mode] = gpu.engine().componentTicksSkipped();
+        }
+        EXPECT_EQ(cycles[IdleFastForward::Off],
+                  cycles[IdleFastForward::Full])
+            << footprint;
+        EXPECT_EQ(cycles[IdleFastForward::Off],
+                  cycles[IdleFastForward::PerDomain])
+            << footprint;
+        EXPECT_GT(skipped[IdleFastForward::PerDomain],
+                  skipped[IdleFastForward::Full])
+            << footprint;
+        full_skipped += skipped[IdleFastForward::Full];
+        per_skipped += skipped[IdleFastForward::PerDomain];
+    }
+    EXPECT_GT(per_skipped, full_skipped);
+}
+
 // -------------------------------------------------- non-unity ratios
 
 /**
@@ -513,7 +811,7 @@ TEST(Engine, MultiRateFastForwardStaysCycleExact)
     on.l2Clock = ClockRatio{2, 3};
     on.dramClock = ClockRatio{3, 7};
     GpuConfig off = on;
-    off.idleFastForward = false;
+    off.idleFastForward = IdleFastForward::Off;
 
     Bfs wl_ff(o);
     Bfs wl_naive(o);

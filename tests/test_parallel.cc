@@ -6,8 +6,11 @@
  * between jobs, and `--jobs` parsing edge cases.
  */
 
+#include <cctype>
 #include <sstream>
+#include <string>
 #include <thread>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -170,6 +173,60 @@ TEST(Cli, ParallelSweepOutputIsByteIdentical)
     const std::string serial = cliSweepJson("1");
     EXPECT_EQ(serial, cliSweepJson("4"));
     EXPECT_EQ(serial, cliSweepJson("0")); // hardware concurrency
+}
+
+/** The same sweep with an explicit fast-forward policy. */
+std::string
+cliSweepJsonWithMode(const char *jobs, const char *mode)
+{
+    const std::string set_ff =
+        std::string("idleFastForward=") + mode;
+    const char *argv[] = {"gpulat",  "sweep",      "--gpu",
+                          "gf106",   "--workload", "vecadd",
+                          "n=1024,2048",
+                          "--set",   "sm.warpSlots=8,16",
+                          "--set",   set_ff.c_str(),
+                          "--jobs",  jobs,
+                          "--json",  "-"};
+    std::ostringstream out;
+    std::ostringstream err;
+    const int code = runCli(static_cast<int>(std::size(argv)), argv,
+                            out, err);
+    EXPECT_EQ(code, 0) << err.str();
+    return out.str();
+}
+
+TEST(Cli, PerDomainSweepIsByteIdenticalAcrossJobs)
+{
+    // The event-scheduled stepper must stay deterministic under
+    // parallel execution: --jobs 1 and --jobs 4 with
+    // idleFastForward=perDomain produce byte-identical documents.
+    const std::string serial = cliSweepJsonWithMode("1", "perDomain");
+    EXPECT_EQ(serial, cliSweepJsonWithMode("4", "perDomain"));
+
+    // And the event-scheduled stepper reports the same simulated
+    // cycles as the naive reference on every cell.
+    auto cycles = [](const std::string &json) {
+        std::vector<std::string> out;
+        const std::string needle = "\"cycles\": ";
+        for (std::size_t pos = json.find(needle);
+             pos != std::string::npos;
+             pos = json.find(needle, pos + 1)) {
+            std::size_t end = pos + needle.size();
+            while (end < json.size() && std::isdigit(
+                       static_cast<unsigned char>(json[end])))
+                ++end;
+            out.push_back(
+                json.substr(pos + needle.size(),
+                            end - pos - needle.size()));
+        }
+        return out;
+    };
+    const auto per_cycles = cycles(serial);
+    const auto off_cycles =
+        cycles(cliSweepJsonWithMode("1", "off"));
+    EXPECT_EQ(per_cycles.size(), 4u);
+    EXPECT_EQ(per_cycles, off_cycles);
 }
 
 TEST(Cli, RejectsGarbageJobs)
