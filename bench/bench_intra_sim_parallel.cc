@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Intra-simulation parallel-ticking bench: one multi-partition
+ * memory-bound simulation, executed with `engine.tickJobs = 1`
+ * (the serial reference) and with a worker pool ticking the
+ * per-partition groups concurrently. Verifies that cycles, traces
+ * and counters are byte-identical across worker counts (rendering
+ * both records through the JSON sink), prints the wall-clock per
+ * point, and writes the `BENCH_intrasim.json` perf artifact CI
+ * uploads so intra-sim scaling is visible PR-over-PR.
+ *
+ * The workload shape is chosen so partition work dominates: few
+ * SMs (the SM group is one ordered batch), many memory partitions,
+ * a deep FR-FCFS DRAM queue to scan per scheduling decision, and a
+ * streaming footprint far beyond the L2 so every partition's DRAM
+ * side stays busy. On a single-core host the parallel point
+ * reports its honest (≈1x or below) ratio — the speedup column is
+ * a measurement, the determinism check is the gate.
+ */
+
+#include <chrono>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "api/experiment.hh"
+#include "api/parallel_runner.hh"
+#include "common/log.hh"
+#include "engine/tick_engine.hh"
+
+using namespace gpulat;
+
+namespace {
+
+/** One measured execution point: a tick-jobs value and its cost. */
+struct Point
+{
+    std::size_t tickJobsRequested = 1;
+    std::size_t tickJobsResolved = 1;
+    double wallMs = 0.0;
+    Cycle cycles = 0;
+    bool correct = false;
+    ExperimentRecord rec;
+    std::string json; ///< full record render (determinism check)
+    std::vector<std::pair<std::string, std::uint64_t>> groupTicks;
+};
+
+/**
+ * Memory-bound multi-partition cell: 2 SMs full of warps streaming
+ * a 16 MiB footprint through 8 partitions with 64-deep FR-FCFS
+ * DRAM queues — per-cycle partition work (queue scans, bank
+ * timing, L2 lookups) far outweighs the serial SM/port slice.
+ */
+ExperimentSpec
+memoryBoundSpec(std::size_t tick_jobs)
+{
+    ExperimentSpec spec;
+    spec.gpu = "gf106";
+    spec.workload = "vecadd";
+    spec.params = {"n=" + std::to_string(1 << 18)};
+    spec.overrides = {
+        "numSms=2",
+        "numPartitions=8",
+        "sm.warpSlots=48",
+        "partition.dramQueueSize=64",
+        "deviceMemBytes=" + std::to_string(64 * 1024 * 1024),
+        "engine.tickJobs=" + std::to_string(tick_jobs),
+    };
+    return spec;
+}
+
+Point
+runPoint(std::size_t tick_jobs)
+{
+    Point point;
+    point.tickJobsRequested = tick_jobs;
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const ExperimentRecord rec = runExperiment(
+        memoryBoundSpec(tick_jobs),
+        [&](Gpu &gpu, const ExperimentRecord &) {
+            const TickEngine &engine = gpu.engine();
+            for (unsigned g = 0; g < engine.numGroups(); ++g) {
+                point.groupTicks.emplace_back(
+                    engine.groupName(g), engine.groupTicksRun(g));
+            }
+        });
+    using ms = std::chrono::duration<double, std::milli>;
+    point.wallMs =
+        ms(std::chrono::steady_clock::now() - t0).count();
+
+    point.tickJobsResolved = rec.tickJobs;
+    point.cycles = rec.cycles;
+    point.correct = rec.correct;
+
+    std::ostringstream os;
+    JsonSink sink(os);
+    sink.write(rec);
+    sink.finish();
+    point.json = os.str();
+    point.rec = rec;
+    return point;
+}
+
+void
+writeArtifact(const std::string &path,
+              const std::vector<Point> &points, bool identical)
+{
+    std::ofstream os(path);
+    if (!os)
+        fatal("cannot write '", path, "'");
+    os << "{\n  \"schema\": \"gpulat.bench_intrasim.v1\",\n"
+       << "  \"bench\": \"intra_sim_parallel\",\n"
+       << "  \"workload\": "
+       << jsonQuote("vecadd n=262144 (gf106, 2 SMs / 8 partitions, "
+                    "48 warps/SM, dramQueueSize=64)")
+       << ",\n  \"hardware_concurrency\": "
+       << TickEngine::resolveTickJobs(0)
+       << ",\n  \"records_byte_identical\": "
+       << (identical ? "true" : "false") << ",\n  \"points\": [\n";
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const Point &p = points[i];
+        os << "    {\"tick_jobs\": " << p.tickJobsRequested
+           << ", \"tick_jobs_resolved\": " << p.tickJobsResolved
+           << ", \"wall_ms\": " << std::fixed << std::setprecision(2)
+           << p.wallMs << ", \"cycles\": " << p.cycles
+           << ", \"correct\": " << (p.correct ? "true" : "false")
+           << ", \"groups\": [";
+        for (std::size_t g = 0; g < p.groupTicks.size(); ++g) {
+            os << (g ? ", " : "") << "{\"name\": "
+               << jsonQuote(p.groupTicks[g].first)
+               << ", \"ticks_run\": " << p.groupTicks[g].second
+               << "}";
+        }
+        os << "]}" << (i + 1 < points.size() ? "," : "") << "\n";
+    }
+    const double serial_ms = points.front().wallMs;
+    const double par_ms = points.back().wallMs;
+    os << "  ],\n  \"speedup\": {\"parallel_vs_serial\": "
+       << std::setprecision(2)
+       << (par_ms > 0.0 ? serial_ms / par_ms : 0.0) << "}\n}\n";
+    std::cout << "wrote " << path << "\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    // Pull out `--intrasim-json FILE` before handing the standard
+    // --json/--csv/--jobs set over.
+    std::string artifact;
+    std::vector<const char *> rest{argv[0]};
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--intrasim-json") {
+            if (i + 1 >= argc)
+                fatal("'--intrasim-json' needs a file path");
+            artifact = argv[++i];
+            continue;
+        }
+        rest.push_back(argv[i]);
+    }
+    MultiSink sinks;
+    std::size_t jobs = 0; // unused: one cell at a time by design
+    addOutputSinks(sinks, static_cast<int>(rest.size()), rest.data(),
+                   &jobs);
+
+    const std::size_t hw = TickEngine::resolveTickJobs(0);
+    // Measure serial first, then the parallel ladder up to the
+    // hardware concurrency (always including 4, the CI TSan/
+    // determinism point, even on smaller machines).
+    std::vector<std::size_t> ladder{1};
+    if (hw >= 2 && hw != 4)
+        ladder.push_back(std::min<std::size_t>(hw, 8));
+    ladder.push_back(4);
+
+    std::cout << "Intra-simulation parallel ticking "
+                 "(memory-bound vecadd, 8 partitions; "
+              << hw << " hardware threads)\n";
+    std::cout << std::setw(10) << "tickJobs" << std::setw(12)
+              << "wall ms" << std::setw(12) << "cycles"
+              << std::setw(10) << "speedup" << "\n";
+
+    std::vector<Point> points;
+    bool ok = true;
+    for (const std::size_t tick_jobs : ladder) {
+        points.push_back(runPoint(tick_jobs));
+        const Point &p = points.back();
+        ok &= p.correct;
+        std::cout << std::setw(10) << tick_jobs << std::setw(12)
+                  << std::fixed << std::setprecision(1) << p.wallMs
+                  << std::setw(12) << p.cycles << std::setw(9)
+                  << std::setprecision(2)
+                  << (p.wallMs > 0.0
+                          ? points.front().wallMs / p.wallMs
+                          : 0.0)
+                  << "x\n";
+        if (!p.correct)
+            std::cout << "FUNCTIONAL MISMATCH at tickJobs="
+                      << tick_jobs << "\n";
+    }
+
+    // The gate: every point's full record — cycles, traces-derived
+    // metrics, every counter — must render byte-identically.
+    bool identical = true;
+    for (const Point &p : points)
+        identical &= p.json == points.front().json;
+    std::cout << (identical
+                      ? "records byte-identical across tickJobs: OK\n"
+                      : "records DIFFER across tickJobs: BUG\n");
+    ok &= identical;
+
+    for (const Point &p : points)
+        sinks.write(p.rec);
+    sinks.finish();
+
+    if (!artifact.empty())
+        writeArtifact(artifact, points, identical);
+    return ok ? 0 : 1;
+}

@@ -49,6 +49,14 @@ usage(std::ostream &err)
            "is byte-identical\n"
            "                     to --jobs 1, committed in sweep "
            "order)\n"
+           "  --tick-jobs N      worker threads ticking partition "
+           "groups *inside*\n"
+           "                     each simulation (default 1 = "
+           "serial; 0 = hardware\n"
+           "                     concurrency; output is "
+           "byte-identical to\n"
+           "                     --tick-jobs 1; same as --set "
+           "engine.tickJobs=N)\n"
            "  --report KIND      summary|fig1|fig2|all per-run "
            "latency reports\n"
            "  --buckets N        report latency buckets "
@@ -170,6 +178,12 @@ parseRunArgs(const std::vector<std::string> &args, CliOptions &opts,
             opts.buckets = parseSize(arg, next());
         } else if (arg == "--jobs") {
             opts.jobs = parseJobs(next());
+        } else if (arg == "--tick-jobs") {
+            // Sugar for the config override (same parse rules as
+            // --jobs); collectRecord() keeps it out of the record.
+            opts.spec.overrides.push_back(
+                "engine.tickJobs=" +
+                std::to_string(parseJobs(next(), "--tick-jobs")));
         } else if (arg == "--stats") {
             opts.dumpStats = true;
         } else if (arg.rfind("--", 0) == 0) {

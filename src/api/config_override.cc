@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdlib>
 #include <limits>
+#include <numeric>
 #include <type_traits>
 
 #include "api/param_map.hh"
@@ -33,8 +34,12 @@ parseClockRatio(const std::string &text)
         fatal("'", text, "' is not a clock ratio (expected M/D, ",
               "M:D or M with M,D > 0)");
     }
-    return ClockRatio{static_cast<unsigned>(mul),
-                      static_cast<unsigned>(div)};
+    // gcd-normalize: "2/4" means the same frequency as "1/2", so it
+    // must format and round-trip identically (and pass the same
+    // range validation) — the parsed ratio is canonical.
+    const unsigned long g = std::gcd(mul, div);
+    return ClockRatio{static_cast<unsigned>(mul / g),
+                      static_cast<unsigned>(div / g)};
 }
 
 std::string
@@ -177,6 +182,8 @@ buildKeys()
         GPULAT_CFG_KEY(l2Clock, "ratio M/D"),
         GPULAT_CFG_KEY(dramClock, "ratio M/D"),
         GPULAT_CFG_KEY(idleFastForward, "off|full|perDomain"),
+        GPULAT_CFG_KEY(engine.tickJobs, "jobs (0 = hw)"),
+        GPULAT_CFG_KEY(engine.watchdogStallSteps, "steps (0 = off)"),
         GPULAT_CFG_KEY(icntLatency, "cycles"),
         GPULAT_CFG_KEY(icntInQueue, "uint"),
         GPULAT_CFG_KEY(icntOutQueue, "uint"),

@@ -68,8 +68,16 @@ collectRecord(Gpu &gpu, const ExperimentSpec &spec,
     }
     for (const std::string &a : spec.overrides) {
         auto [key, value] = ParamMap::splitAssignment(a);
+        // engine.tickJobs is a wall-clock execution knob, like the
+        // runner's --jobs: it never changes simulated results, so
+        // it must not make otherwise-identical records differ (the
+        // CI determinism gate byte-diffs output across its
+        // values). It is surfaced as rec.tickJobs instead.
+        if (key == "engine.tickJobs")
+            continue;
         rec.overrides[key] = value;
     }
+    rec.tickJobs = gpu.engine().tickJobs();
 
     rec.correct = result.correct;
     rec.cycles = result.cycles;

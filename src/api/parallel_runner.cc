@@ -11,16 +11,16 @@
 namespace gpulat {
 
 std::size_t
-parseJobs(const std::string &text)
+parseJobs(const std::string &text, const char *flag)
 {
     if (text.empty() || text[0] == '-' || text[0] == '+')
-        fatal("'--jobs' needs a non-negative integer, got '", text,
-              "'");
+        fatal("'", flag, "' needs a non-negative integer, got '",
+              text, "'");
     char *end = nullptr;
     const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
     if (end == text.c_str() || *end != '\0')
-        fatal("'--jobs' needs a non-negative integer, got '", text,
-              "'");
+        fatal("'", flag, "' needs a non-negative integer, got '",
+              text, "'");
     return static_cast<std::size_t>(v);
 }
 

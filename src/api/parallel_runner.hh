@@ -34,11 +34,15 @@ struct JobOutcome
 };
 
 /**
- * Parse a `--jobs` value: a non-negative integer, where 0 means
+ * Parse a jobs-count value: a non-negative integer, where 0 means
  * "use the hardware concurrency". fatal() on anything else
- * (negative, fractional, empty, non-numeric, trailing junk).
+ * (negative, fractional, empty, non-numeric, trailing junk),
+ * naming @p flag — the same syntax serves `--jobs` and
+ * `--tick-jobs`, and the error must point at the flag the user
+ * actually passed.
  */
-std::size_t parseJobs(const std::string &text);
+std::size_t parseJobs(const std::string &text,
+                      const char *flag = "--jobs");
 
 /** Map the user's jobs request to a worker count: 0 becomes the
  *  hardware concurrency (at least 1), anything else passes through. */

@@ -11,6 +11,7 @@
 #ifndef GPULAT_API_STAT_SINK_HH
 #define GPULAT_API_STAT_SINK_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -51,6 +52,18 @@ struct ExperimentRecord
 
     /** Selected per-epoch hardware counters (optional extras). */
     std::map<std::string, std::uint64_t> counters;
+
+    /**
+     * Resolved intra-simulation tick workers the run executed with
+     * (TickEngine::tickJobs(), >= 1). Execution metadata for
+     * programmatic consumers (benches comparing wall-clock per
+     * worker count) — deliberately *not* serialized by any sink,
+     * and `engine.tickJobs` is filtered from `overrides`, because
+     * records must be byte-identical across tick-jobs values (the
+     * per-group tick counters `engine.group.<name>.ticks_run` in
+     * `counters` are deterministic and do ride along).
+     */
+    std::size_t tickJobs = 1;
 
     double metric(const std::string &name) const;
 };

@@ -10,6 +10,19 @@ namespace {
 
 using Wide = unsigned __int128;
 
+/**
+ * Narrow a 128-bit tick/cycle value back to Cycle, saturating at
+ * kNoCycle. Promises near 2^64 (a buggy or drained component one
+ * off from kNoCycle) land on slow grids whose arithmetic exceeds
+ * 64 bits; wrapping would hand fastForward() a *past* cycle and
+ * time-travel the engine, while kNoCycle correctly reads "never".
+ */
+Cycle
+narrow(Wide v)
+{
+    return v >= Wide{kNoCycle} ? kNoCycle : static_cast<Cycle>(v);
+}
+
 } // namespace
 
 ClockDomain::ClockDomain(std::string name, ClockRatio ratio)
@@ -22,8 +35,12 @@ ClockDomain::ClockDomain(std::string name, ClockRatio ratio)
 Cycle
 ClockDomain::tickCycle(Cycle k, ClockRatio ratio)
 {
-    return static_cast<Cycle>(
-        (Wide{k} * ratio.div + ratio.mul - 1) / ratio.mul);
+    // A saturated tick index means "never": on a fast grid
+    // (mul > div) the division below would otherwise shrink the
+    // sentinel back into a finite — and bogus — cycle.
+    if (k == kNoCycle)
+        return kNoCycle;
+    return narrow((Wide{k} * ratio.div + ratio.mul - 1) / ratio.mul);
 }
 
 Cycle
@@ -32,7 +49,7 @@ ClockDomain::ticksThrough(Cycle c, ClockRatio ratio)
     // Tick k lands on ceil(k * div / mul), so ticks with
     // k * div <= c * mul have happened by the end of cycle c:
     // floor(c * mul / div) of them with k >= 1, plus tick 0.
-    return static_cast<Cycle>(Wide{c} * ratio.mul / ratio.div) + 1;
+    return narrow(Wide{c} * ratio.mul / ratio.div + 1);
 }
 
 Cycle
@@ -42,8 +59,7 @@ ClockDomain::firstTickAtOrAfter(Cycle e, ClockRatio ratio)
     //                           <=>  k > (e - 1) * mul / div.
     if (e == 0)
         return 0;
-    return static_cast<Cycle>(
-        Wide{e - 1} * ratio.mul / ratio.div) + 1;
+    return narrow(Wide{e - 1} * ratio.mul / ratio.div + 1);
 }
 
 Cycle

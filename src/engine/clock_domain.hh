@@ -31,6 +31,8 @@ class ClockDomain
     ClockRatio ratio() const { return ratio_; }
 
     /** @name Tick-grid arithmetic (shared with domain-aware models)
+     * All helpers saturate at kNoCycle instead of wrapping, so an
+     * event promise near 2^64 reads as "never" on any grid.
      * @{ */
 
     /** Core cycle tick @p k (k = 0, 1, ...) of @p ratio lands on. */

@@ -114,21 +114,35 @@ Gpu::Gpu(GpuConfig config)
     ClockDomain &l2 = engine_.addDomain("l2", config_.l2Clock);
     ClockDomain &dram = engine_.addDomain("dram", config_.dramClock);
 
+    // Tick groups (engine.tickJobs > 1 ticks distinct groups
+    // concurrently): each partition's two sides form one group —
+    // tickMemSide()/tickL2Side() touch only that partition's
+    // queues, banks and pre-resolved counters, so partitions
+    // commute with each other and with the SM group. The SM cores
+    // share a *single* group because their ticks append to ordered
+    // shared state (latency/exposure collectors, the request-id
+    // sequence, device memory), which must stay in registration
+    // order. Ports, crossbars and the dispatcher move packets
+    // *between* groups, so they stay on the coordinator (group 0)
+    // and act as ordering barriers around the parallel batches.
+    const unsigned sm_group = engine_.addGroup("sm");
     engine_.add(icnt, reqNet_);
     engine_.add(icnt, respNet_);
     engine_.add(l2, reqEject_);
     for (auto &part : partitions_) {
+        const unsigned part_group = engine_.addGroup(
+            "part" + std::to_string(partMemSides_.size()));
         partMemSides_.push_back(
             std::make_unique<PartitionMemSide>(*part));
         partL2Sides_.push_back(
             std::make_unique<PartitionL2Side>(*part));
-        engine_.add(dram, *partMemSides_.back());
-        engine_.add(l2, *partL2Sides_.back());
+        engine_.add(dram, *partMemSides_.back(), part_group);
+        engine_.add(l2, *partL2Sides_.back(), part_group);
     }
     engine_.add(icnt, respInject_);
     engine_.add(core, respEject_);
     for (auto &sm : sms_)
-        engine_.add(core, *sm);
+        engine_.add(core, *sm, sm_group);
     engine_.add(core, dispatcher_);
 
     // Wake edges: every path a performed tick can deliver input
@@ -156,6 +170,7 @@ Gpu::Gpu(GpuConfig config)
     }
 
     engine_.setMode(config_.idleFastForward);
+    engine_.setTickJobs(config_.engine.tickJobs);
     engine_.bindStats(stats_);
 }
 
@@ -240,18 +255,38 @@ Gpu::activitySignature() const
 }
 
 std::string
-Gpu::stallReport(const std::string &kernel_name) const
+Gpu::stallReport(const std::string &kernel_name)
 {
+    // Close every lazy idle-accounting window first: under
+    // perDomain fast-forward, sleeping components carry
+    // fastForward() windows that are still open when the watchdog
+    // fires, so an un-settled report shows stale idle/occupancy
+    // cycle totals (an SM asleep since cycle 100 would report ~100
+    // idle cycles at a cycle-50000 stall).
+    engine_.settle();
+
     std::ostringstream oss;
     oss << "no forward progress at cycle " << engine_.now()
         << " (kernel '" << kernel_name << "', dispatched "
         << dispatcher_.nextBlock() << "/" << dispatcher_.numBlocks()
         << " blocks)\n";
+    oss << "  engine: now=" << engine_.now()
+        << " steps=" << engine_.steps()
+        << " ff_skipped=" << engine_.skippedCycles() << "\n";
+    for (const auto &domain : engine_.domains()) {
+        oss << "  engine." << domain->name()
+            << ": ticks_run=" << domain->componentTicksRun()
+            << " ticks_skipped=" << domain->componentTicksSkipped()
+            << " local_cycles=" << domain->localCycles() << "\n";
+    }
     oss << "  icnt: req=" << reqNet_.inFlight()
         << " resp=" << respNet_.inFlight() << " in flight\n";
-    for (const auto &sm : sms_)
-        oss << "  " << sm->occupancySummary()
-            << (sm->drained() ? "" : " [not drained]") << "\n";
+    for (unsigned s = 0; s < config_.numSms; ++s) {
+        oss << "  " << sms_[s]->occupancySummary() << " idle="
+            << stats_.counterValue("sm" + std::to_string(s) +
+                                   ".idle_cycles")
+            << (sms_[s]->drained() ? "" : " [not drained]") << "\n";
+    }
     for (const auto &part : partitions_)
         oss << "  " << part->occupancySummary()
             << (part->drained() ? "" : " [not drained]") << "\n";
@@ -334,11 +369,18 @@ Gpu::launch(const Kernel &kernel, unsigned num_blocks,
             return sum;
         }();
 
-    // Watchdog: iteration-based (fast-forward makes the cycle count
-    // jump), with a descriptive per-layer report on a genuine stall.
+    // Watchdog: the no-progress window is measured in *performed
+    // engine steps* (TickEngine::steps()), never in core cycles —
+    // fastForward() can jump millions of legitimate idle cycles in
+    // one step(), so a cycle-measured window would flag a long but
+    // healthy DRAM wait as a hang. A genuine stall keeps stepping
+    // (the stuck component stays "due") with a frozen signature,
+    // so it is still caught in every mode, including Off, where
+    // steps and cycles coincide. Panics with a per-layer report.
+    const std::uint64_t stall_steps = config_.engine.watchdogStallSteps;
     std::uint64_t last_sig = activitySignature();
+    std::uint64_t last_progress_step = engine_.steps();
     std::uint64_t iters = 0;
-    std::uint64_t last_progress_iter = 0;
 
     while (!dispatcher_.allDispatched() || !allDrained()) {
         engine_.step();
@@ -348,8 +390,10 @@ Gpu::launch(const Kernel &kernel, unsigned num_blocks,
             const std::uint64_t sig = activitySignature();
             if (sig != last_sig) {
                 last_sig = sig;
-                last_progress_iter = iters;
-            } else if (iters - last_progress_iter > 2'000'000) {
+                last_progress_step = engine_.steps();
+            } else if (stall_steps != 0 &&
+                       engine_.steps() - last_progress_step >
+                           stall_steps) {
                 panic(stallReport(kernel.name));
             }
         }

@@ -98,7 +98,9 @@ class Gpu
   private:
     bool allDrained() const;
     std::uint64_t activitySignature() const;
-    std::string stallReport(const std::string &kernel_name) const;
+    /** Per-layer diagnostics for a watchdog panic; settles the
+     *  engine first so idle/occupancy cycle totals are current. */
+    std::string stallReport(const std::string &kernel_name);
 
     GpuConfig config_;
     StatRegistry stats_;

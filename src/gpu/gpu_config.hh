@@ -12,6 +12,7 @@
 #ifndef GPULAT_GPU_GPU_CONFIG_HH
 #define GPULAT_GPU_GPU_CONFIG_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -60,6 +61,37 @@ struct GpuConfig
      * off/full).
      */
     IdleFastForward idleFastForward = IdleFastForward::PerDomain;
+
+    /**
+     * Engine *execution* knobs: wall-clock behaviour of the
+     * simulator process only — by construction they never change
+     * simulated cycles, traces or counters, and `engine.tickJobs`
+     * is therefore excluded from the overrides an ExperimentRecord
+     * reports (the CI determinism gate byte-diffs output across
+     * its values).
+     */
+    struct EngineParams
+    {
+        /**
+         * Worker threads ticking independent partition groups
+         * *inside* one simulation (TickEngine::setTickJobs):
+         * 1 = today's serial path (default), 0 = hardware
+         * concurrency (clamped to >= 1). Dotted override key
+         * `engine.tickJobs`; the CLI also accepts `--tick-jobs N`.
+         */
+        std::size_t tickJobs = 1;
+
+        /**
+         * Launch watchdog: panic with a per-layer stall report
+         * after this many *performed engine steps*
+         * (TickEngine::steps()) without any activity-signature
+         * change. Counted in steps, never core cycles — idle
+         * fast-forward can jump millions of legitimate idle cycles
+         * in a single step. 0 disables the watchdog.
+         */
+        std::uint64_t watchdogStallSteps = 2'000'000;
+    };
+    EngineParams engine;
 
     /** Per-SM template (smId overwritten per instance). */
     SmParams sm;

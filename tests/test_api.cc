@@ -140,6 +140,76 @@ TEST(ConfigOverride, ClockRatioForms)
                  FatalError);
 }
 
+TEST(ConfigOverride, ClockRatioNormalizesOnParse)
+{
+    // "2/4" and "1/2" are the same frequency, so they must parse
+    // to the same canonical ratio and format identically —
+    // otherwise an override round-trip (read, reapply, compare)
+    // spuriously fails on any non-reduced user input.
+    GpuConfig cfg = makeConfig("gf106");
+    applyOverride(cfg, "dramClock=2/4");
+    EXPECT_EQ(cfg.dramClock.mul, 1u);
+    EXPECT_EQ(cfg.dramClock.div, 2u);
+    EXPECT_EQ(readOverride(cfg, "dramClock"), "1/2");
+
+    applyOverride(cfg, "icntClock=6:4");
+    EXPECT_EQ(readOverride(cfg, "icntClock"), "3/2");
+    applyOverride(cfg, "l2Clock=8");
+    EXPECT_EQ(readOverride(cfg, "l2Clock"), "8/1");
+
+    // Round-trip identity on a non-reduced spelling: the formatted
+    // value reapplies to the same machine.
+    GpuConfig again = makeConfig("gf106");
+    applyOverride(again, "dramClock=" +
+                             readOverride(cfg, "dramClock"));
+    EXPECT_EQ(again.dramClock.mul, cfg.dramClock.mul);
+    EXPECT_EQ(again.dramClock.div, cfg.dramClock.div);
+
+    // Normalization happens before range validation, so a reduced
+    // in-range ratio with large raw terms is accepted.
+    applyOverride(cfg, "dramClock=128/256");
+    EXPECT_EQ(readOverride(cfg, "dramClock"), "1/2");
+    Gpu gpu(cfg); // validateRatio sees {1,2}: in range
+    EXPECT_EQ(gpu.config().dramClock.div, 2u);
+}
+
+TEST(Experiment, TickJobsIsSurfacedButNotSerialized)
+{
+    // engine.tickJobs is an execution knob: the resolved value is
+    // surfaced on the record for programmatic consumers, but the
+    // override is filtered from the serialized fields so output is
+    // byte-identical across tick-jobs values (CI diffs it).
+    ExperimentSpec serial;
+    serial.gpu = "gf106";
+    serial.workload = "vecadd";
+    serial.params = {"n=2048"};
+    serial.overrides = {"numPartitions=4"};
+    ExperimentSpec parallel = serial;
+    parallel.overrides.push_back("engine.tickJobs=4");
+
+    const ExperimentRecord a = runExperiment(serial);
+    const ExperimentRecord b = runExperiment(parallel);
+    EXPECT_EQ(a.tickJobs, 1u);
+    EXPECT_EQ(b.tickJobs, 4u);
+    EXPECT_EQ(b.overrides.count("engine.tickJobs"), 0u);
+    EXPECT_EQ(a.overrides, b.overrides);
+    EXPECT_EQ(a.cycles, b.cycles);
+
+    // Per-group tick counters ride along and are identical.
+    EXPECT_GT(b.counters.at("engine.group.sm.ticks_run"), 0u);
+    EXPECT_EQ(a.counters.at("engine.group.part0.ticks_run"),
+              b.counters.at("engine.group.part0.ticks_run"));
+
+    auto render = [](const ExperimentRecord &rec) {
+        std::ostringstream os;
+        JsonSink sink(os);
+        sink.write(rec);
+        sink.finish();
+        return os.str();
+    };
+    EXPECT_EQ(render(a), render(b));
+}
+
 TEST(ConfigOverride, EveryKeyRoundTrips)
 {
     // Reading a key and applying the formatted value back must be

@@ -419,6 +419,212 @@ TEST(TickEngine, WakeEdgeRevealsDeliveredEvents)
     EXPECT_EQ(engine.skippedCycles(), 10u); // [1,5) and [6,12)
 }
 
+// ------------------------------------- drained-engine fast-forward
+
+TEST(TickEngine, FastForwardOnDrainedEngineReturnsZero)
+{
+    // Every promise kNoCycle: there is no event to aim at, so
+    // fastForward() must return 0 instead of doing arithmetic on
+    // kNoCycle (which would overflow the tick-grid math).
+    TickEngine engine;
+    engine.setMode(IdleFastForward::PerDomain);
+    ClockDomain &core = engine.addDomain("core", ClockRatio{1, 1});
+    ClockDomain &dram = engine.addDomain("dram", ClockRatio{1, 3});
+    PokeTarget drained_a; // promises kNoCycle while nothing pending
+    PokeTarget drained_b;
+    engine.add(core, drained_a);
+    engine.add(dram, drained_b);
+
+    engine.step(); // obtain the (drained) promises
+    const Cycle before = engine.now();
+    EXPECT_EQ(engine.fastForward(), 0u);
+    EXPECT_EQ(engine.fastForward(), 0u);
+    EXPECT_EQ(engine.now(), before);
+    EXPECT_EQ(engine.skippedCycles(), 0u);
+
+    // Same in Full mode, which re-queries promises fresh.
+    TickEngine full;
+    full.setMode(IdleFastForward::Full);
+    ClockDomain &fcore = full.addDomain("core", ClockRatio{1, 1});
+    PokeTarget drained_c;
+    full.add(fcore, drained_c);
+    full.step();
+    EXPECT_EQ(full.fastForward(), 0u);
+}
+
+TEST(TickEngine, FastForwardSaturatesOverflowingPromises)
+{
+    // A promise one off from kNoCycle on a {1,3} grid rounds up to
+    // a tick at exactly 2^64, which used to wrap to 0 and propose
+    // a *past* jump target; the saturating grid math must read it
+    // as "never" so the other component's real event still wins.
+    struct HugePromise : Clocked
+    {
+        void tick(Cycle) override {}
+        Cycle
+        nextEventAt(Cycle) const override
+        {
+            return kNoCycle - 1;
+        }
+    };
+    TickEngine engine;
+    engine.setMode(IdleFastForward::PerDomain);
+    ClockDomain &slow = engine.addDomain("slow", ClockRatio{1, 3});
+    ClockDomain &core = engine.addDomain("core", ClockRatio{1, 1});
+    HugePromise huge;
+    SleepyComponent sleepy(100);
+    engine.add(slow, huge);
+    engine.add(core, sleepy);
+
+    engine.step();
+    EXPECT_GT(engine.fastForward(), 0u);
+    EXPECT_EQ(engine.now(), 100u);
+
+    // Fast grids are the other overflow shape: the saturated tick
+    // index must not be divided back into a finite bogus target
+    // (tickCycle(kNoCycle, {2,1}) would read as 2^63, jumping the
+    // engine half the representable timeline).
+    TickEngine fast_engine;
+    fast_engine.setMode(IdleFastForward::PerDomain);
+    ClockDomain &fast =
+        fast_engine.addDomain("fast", ClockRatio{2, 1});
+    ClockDomain &fcore =
+        fast_engine.addDomain("core", ClockRatio{1, 1});
+    HugePromise huge2;
+    SleepyComponent sleepy2(100);
+    fast_engine.add(fast, huge2);
+    fast_engine.add(fcore, sleepy2);
+
+    fast_engine.step();
+    EXPECT_GT(fast_engine.fastForward(), 0u);
+    EXPECT_EQ(fast_engine.now(), 100u);
+    EXPECT_EQ(ClockDomain::tickCycle(kNoCycle, ClockRatio{2, 1}),
+              kNoCycle);
+}
+
+// --------------------------------------- parallel tick-group units
+
+TEST(TickEngine, ResolveTickJobsClampsToOne)
+{
+    // hardware_concurrency() may return 0 ("unknown"); a zero
+    // worker count must mean serial, never none.
+    EXPECT_GE(TickEngine::resolveTickJobs(0), 1u);
+    EXPECT_EQ(TickEngine::resolveTickJobs(1), 1u);
+    EXPECT_EQ(TickEngine::resolveTickJobs(7), 7u);
+
+    TickEngine engine;
+    engine.setTickJobs(0);
+    EXPECT_GE(engine.tickJobs(), 1u);
+    engine.setTickJobs(3);
+    EXPECT_EQ(engine.tickJobs(), 3u);
+}
+
+/** Ticks into component-private state only (group-parallel safe). */
+struct PrivateLogComponent : Clocked
+{
+    void tick(Cycle now) override { log.push_back(now); }
+    Cycle nextEventAt(Cycle now) const override { return now; }
+    std::vector<Cycle> log;
+};
+
+TEST(TickEngine, TickGroupsMatchSerialTicking)
+{
+    // Two non-coordinator groups plus coordinator components, run
+    // serially and with a worker pool: every component must see
+    // exactly the same tick sequence, and the per-group counters
+    // must agree (they are mirrored into experiment records, so
+    // they may not depend on the execution mode).
+    auto run = [](std::size_t tick_jobs) {
+        TickEngine engine;
+        engine.setMode(IdleFastForward::PerDomain);
+        engine.setTickJobs(tick_jobs);
+        ClockDomain &core =
+            engine.addDomain("core", ClockRatio{1, 1});
+        ClockDomain &half =
+            engine.addDomain("half", ClockRatio{1, 2});
+        const unsigned g1 = engine.addGroup("g1");
+        const unsigned g2 = engine.addGroup("g2");
+
+        PrivateLogComponent hub; // coordinator barrier
+        PrivateLogComponent a1;
+        PrivateLogComponent a2;
+        PrivateLogComponent b1;
+        engine.add(core, hub);
+        engine.add(core, a1, g1);
+        engine.add(half, a2, g1);
+        engine.add(core, b1, g2);
+
+        for (int i = 0; i < 32; ++i)
+            engine.step();
+
+        std::vector<std::vector<Cycle>> logs{hub.log, a1.log,
+                                             a2.log, b1.log};
+        std::vector<std::uint64_t> ticks;
+        for (unsigned g = 0; g < engine.numGroups(); ++g)
+            ticks.push_back(engine.groupTicksRun(g));
+        return std::make_pair(logs, ticks);
+    };
+
+    const auto serial = run(1);
+    const auto parallel = run(4);
+    EXPECT_EQ(serial.first, parallel.first);
+    EXPECT_EQ(serial.second, parallel.second);
+    EXPECT_EQ(serial.second[1], 48u); // g1: 32 core + 16 half ticks
+    EXPECT_EQ(serial.second[2], 32u); // g2
+}
+
+/** Appends to a log shared with other components: only safe when
+ *  the engine serializes every appender on one thread. */
+struct SharedLogComponent : Clocked
+{
+    SharedLogComponent(int n, std::vector<int> *l) : id(n), log(l) {}
+    void tick(Cycle) override { log->push_back(id); }
+    Cycle nextEventAt(Cycle now) const override { return now; }
+    int id;
+    std::vector<int> *log;
+};
+
+TEST(TickEngine, CrossGroupEdgeDemotesBothEndpointsToCoordinator)
+{
+    // A wake edge between two different non-zero groups means the
+    // endpoints interact, so the engine must tick them in
+    // registration order on the coordinating thread — the shared
+    // log would race (and interleave nondeterministically) if
+    // either endpoint kept running on the pool. A third,
+    // independent group stays parallel-eligible alongside.
+    TickEngine engine;
+    engine.setMode(IdleFastForward::PerDomain);
+    engine.setTickJobs(4);
+    ClockDomain &core = engine.addDomain("core", ClockRatio{1, 1});
+    const unsigned g1 = engine.addGroup("g1");
+    const unsigned g2 = engine.addGroup("g2");
+    const unsigned g3 = engine.addGroup("g3");
+
+    std::vector<int> shared_log;
+    SharedLogComponent a(1, &shared_log);
+    SharedLogComponent b(2, &shared_log);
+    PrivateLogComponent c;
+    PrivateLogComponent d;
+    engine.add(core, a, g1);
+    engine.add(core, b, g2);
+    engine.add(core, c, g3);
+    engine.add(core, d, g1); // same group as a: stays ordered too
+    engine.link(a, b); // cross-group edge: demotes a and b
+
+    const int cycles = 64;
+    for (int i = 0; i < cycles; ++i)
+        engine.step();
+
+    ASSERT_EQ(shared_log.size(),
+              static_cast<std::size_t>(2 * cycles));
+    for (int i = 0; i < cycles; ++i) {
+        EXPECT_EQ(shared_log[2 * i], 1) << i;     // registration
+        EXPECT_EQ(shared_log[2 * i + 1], 2) << i; // order, per cycle
+    }
+    EXPECT_EQ(c.log.size(), static_cast<std::size_t>(cycles));
+    EXPECT_EQ(d.log.size(), static_cast<std::size_t>(cycles));
+}
+
 // ------------------------------------------- cycle-exact equivalence
 
 /** Small config so tests are fast but still multi-SM/partition. */
@@ -739,6 +945,77 @@ TEST(Engine, PerDomainMatchesOnPchaseLadderAndSkipsMore)
         per_skipped += skipped[IdleFastForward::PerDomain];
     }
     EXPECT_GT(per_skipped, full_skipped);
+}
+
+// --------------------------------- intra-sim parallel tick goldens
+
+TEST(Engine, ParallelTickingMatchesSerialOnVecAdd)
+{
+    VecAdd::Options o;
+    o.n = 1 << 12;
+    GpuConfig serial_cfg = smallGF106();
+    GpuConfig par_cfg = smallGF106();
+    par_cfg.engine.tickJobs = 4;
+
+    VecAdd wl_serial(o);
+    VecAdd wl_par(o);
+    const RunCapture serial = runWorkload(wl_serial, serial_cfg);
+    const RunCapture parallel = runWorkload(wl_par, par_cfg);
+    expectIdenticalRuns(serial, parallel);
+}
+
+TEST(Engine, ParallelTickingMatchesSerialOnBfsNonUnityRatios)
+{
+    // Worker-parallel partition ticking composed with multi-rate
+    // grids and per-domain sleeping — the full stack at once.
+    GpuConfig cfg = smallGF106();
+    cfg.numPartitions = 4;
+    cfg.icntClock = ClockRatio{2, 1};
+    cfg.l2Clock = ClockRatio{2, 3};
+    cfg.dramClock = ClockRatio{1, 3};
+
+    Bfs::Options o;
+    o.kind = Bfs::GraphKind::Rmat;
+    o.scale = 9;
+    o.degree = 8;
+
+    for (const IdleFastForward mode :
+         {IdleFastForward::Off, IdleFastForward::PerDomain}) {
+        GpuConfig serial_cfg = cfg;
+        serial_cfg.idleFastForward = mode;
+        GpuConfig par_cfg = serial_cfg;
+        par_cfg.engine.tickJobs = 4;
+
+        Bfs wl_serial(o);
+        Bfs wl_par(o);
+        const RunCapture serial = runWorkload(wl_serial, serial_cfg);
+        const RunCapture parallel = runWorkload(wl_par, par_cfg);
+        expectIdenticalRuns(serial, parallel);
+    }
+}
+
+TEST(Engine, ParallelTickingMatchesOnPchaseLadder)
+{
+    // The Table-I style idle-latency ladder must be bit-identical
+    // under worker-parallel ticking: latency-bound single-warp
+    // chases are where a reordered partition tick would shift a
+    // measured cycle immediately.
+    for (const std::uint64_t footprint :
+         {std::uint64_t{16} * 1024, std::uint64_t{4} * 1024 * 1024}) {
+        std::map<std::size_t, Cycle> cycles;
+        for (const std::size_t jobs : {std::size_t{1}, std::size_t{4}}) {
+            GpuConfig cfg = smallGF106();
+            cfg.engine.tickJobs = jobs;
+            Gpu gpu(std::move(cfg));
+            PChaseConfig pc;
+            pc.space = MemSpace::Global;
+            pc.footprintBytes = footprint;
+            pc.strideBytes = 512;
+            pc.timedAccesses = 128;
+            cycles[jobs] = runPointerChase(gpu, pc).timedCycles;
+        }
+        EXPECT_EQ(cycles[1], cycles[4]) << footprint;
+    }
 }
 
 // -------------------------------------------------- non-unity ratios

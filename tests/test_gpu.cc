@@ -4,8 +4,12 @@
  * functional results and sane timing behaviour.
  */
 
+#include <cstdlib>
+#include <string>
+
 #include <gtest/gtest.h>
 
+#include "common/log.hh"
 #include "gpu/gpu.hh"
 #include "isa/assembler.hh"
 
@@ -295,6 +299,143 @@ TEST(Gpu, BackToBackLaunchesShareState)
     std::uint64_t v = 0;
     gpu.copyFromDevice(&v, buf, 8);
     EXPECT_EQ(v, 5u);
+}
+
+// ------------------------------------------------ stall watchdog
+
+/**
+ * A config whose L2 MSHR can merge more same-line misses than the
+ * return queue can ever fan out to at once: the DRAM fill needs
+ * `peekCount` free return slots in a single cycle, so 4 merged
+ * loads against a 2-deep return queue wedge the partition forever
+ * — a genuine, deterministic hang for watchdog tests.
+ */
+GpuConfig
+deadlockConfig()
+{
+    GpuConfig cfg = makeGF106();
+    cfg.numSms = 1;
+    cfg.numPartitions = 1;
+    cfg.deviceMemBytes = 16 * 1024 * 1024;
+    cfg.sm.l1Enabled = false; // every warp's load reaches the L2
+    cfg.partition.returnQueueSize = 2;
+    cfg.partition.l2MshrEntries = 8;
+    cfg.partition.l2MshrMaxMerge = 8;
+    cfg.engine.watchdogStallSteps = 20000; // fast tests
+    return cfg;
+}
+
+/** All 4 warps load the same line (1 primary + 3 merged misses)
+ *  and *consume* the value, so they stay resident, stalled on the
+ *  register dependency, while the fill is wedged. */
+Kernel
+sameLineLoadKernel()
+{
+    return assemble(R"(
+        mov r1, param0
+        ld.global r2, [r1]
+        iadd r3, r2, 1
+        exit
+    )");
+}
+
+/** First integer following @p key in @p text (-1 if absent). */
+long long
+numberAfter(const std::string &text, const std::string &key)
+{
+    const auto pos = text.find(key);
+    if (pos == std::string::npos)
+        return -1;
+    return std::atoll(text.c_str() + pos + key.size());
+}
+
+TEST(Gpu, WatchdogPanicReportIsSettled)
+{
+    // Under perDomain fast-forward the SM sleeps through the whole
+    // wedged wait with an *open* lazy idle-accounting window; the
+    // stall report must settle() before reading statistics, or it
+    // shows the idle total from the moment the SM fell asleep
+    // (a few hundred cycles) instead of the stall-time truth
+    // (roughly the full simulated timeline).
+    GpuConfig cfg = deadlockConfig();
+    cfg.idleFastForward = IdleFastForward::PerDomain;
+    Gpu gpu(std::move(cfg));
+    const Kernel k = sameLineLoadKernel();
+    const Addr buf = gpu.alloc(256);
+
+    std::string report;
+    try {
+        gpu.launch(k, 1, 128, {buf});
+        FAIL() << "wedged launch must panic";
+    } catch (const PanicError &e) {
+        report = e.what();
+    }
+
+    EXPECT_NE(report.find("no forward progress"), std::string::npos)
+        << report;
+    EXPECT_NE(report.find("[not drained]"), std::string::npos)
+        << report;
+
+    const long long now = numberAfter(report, "now=");
+    const long long idle = numberAfter(report, "idle=");
+    ASSERT_GT(now, 20000) << report;
+    // Settled: the SM's idle cycles track the stalled timeline, not
+    // the moment its accounting window was last closed.
+    EXPECT_GT(idle, now / 2) << report;
+}
+
+TEST(Gpu, WatchdogStillCatchesRealHangInOffMode)
+{
+    // No fast-forward, no promises: the naive reference must still
+    // detect the wedge (steps and cycles coincide in Off mode).
+    GpuConfig cfg = deadlockConfig();
+    cfg.idleFastForward = IdleFastForward::Off;
+    Gpu gpu(std::move(cfg));
+    const Addr buf = gpu.alloc(256);
+    EXPECT_THROW(gpu.launch(sameLineLoadKernel(), 1, 128, {buf}),
+                 PanicError);
+}
+
+TEST(Gpu, WatchdogCountsStepsNotCycles)
+{
+    // The no-progress window is measured in performed engine steps
+    // (TickEngine::steps()), never core cycles: with a per-access
+    // DRAM latency far above the whole stall threshold, every wait
+    // is one fast-forward jump, so a healthy latency-bound run
+    // whose *cycle* count dwarfs the threshold must complete
+    // without tripping the watchdog.
+    GpuConfig cfg = makeGF106();
+    cfg.numSms = 1;
+    cfg.numPartitions = 1;
+    cfg.deviceMemBytes = 16 * 1024 * 1024;
+    cfg.idleFastForward = IdleFastForward::PerDomain;
+    cfg.engine.watchdogStallSteps = 20000;
+    cfg.partition.dram.timing.tExtra = 60000; // >> stall threshold
+    Gpu gpu(std::move(cfg));
+
+    // A dependent-load chain: every access is a fresh >60k-cycle
+    // idle window with zero signature change inside it.
+    const Kernel chase = assemble(R"(
+        mov r1, param0
+        ld.global r2, [r1]
+        ld.global r3, [r2]
+        ld.global r4, [r3]
+        st.global [r1+8], r4
+        exit
+    )");
+    const Addr buf = gpu.alloc(4096);
+    // Pointer chain across distinct lines, so every dependent load
+    // is a fresh DRAM access (no cache reuse shortcuts the waits).
+    for (std::uint64_t i = 0; i < 3; ++i) {
+        const std::uint64_t next = buf + (i + 1) * 512;
+        gpu.copyToDevice(buf + i * 512, &next, 8);
+    }
+
+    const LaunchResult result = gpu.launch(chase, 1, 1, {buf});
+    // The run legitimately spans many multiples of the stall
+    // threshold in *cycles*; in *steps* it stays far below it.
+    EXPECT_GT(result.cycles, 3u * 20000u);
+    EXPECT_LT(gpu.engine().steps(), 20000u);
 }
 
 TEST(Gpu, RejectsOversizedBlock)

@@ -132,6 +132,12 @@ TEST(ParallelRunner, JobsParsing)
     EXPECT_GE(resolveJobs(0), 1u); // hardware concurrency, >= 1
     EXPECT_EQ(resolveJobs(1), 1u);
     EXPECT_EQ(resolveJobs(7), 7u);
+
+    // hardware_concurrency() may return 0 ("unknown"): both the
+    // runner and its constructor must clamp to one worker, never
+    // zero (a zero-worker pool would run nothing forever).
+    EXPECT_EQ(ParallelRunner(0).jobs(), 1u);
+    EXPECT_EQ(ParallelRunner(resolveJobs(0)).jobs(), resolveJobs(0));
 }
 
 TEST(ParallelRunner, MoreWorkersThanSpecs)
@@ -229,6 +235,37 @@ TEST(Cli, PerDomainSweepIsByteIdenticalAcrossJobs)
     EXPECT_EQ(per_cycles, off_cycles);
 }
 
+/** The same sweep with an intra-sim tick-jobs value. */
+std::string
+cliSweepJsonWithTickJobs(const char *tick_jobs)
+{
+    const char *argv[] = {"gpulat", "sweep",      "--gpu",
+                          "gf106",   "--workload", "vecadd",
+                          "n=1024,2048",
+                          "--set",   "sm.warpSlots=8,16",
+                          "--tick-jobs", tick_jobs,
+                          "--json",  "-"};
+    std::ostringstream out;
+    std::ostringstream err;
+    const int code = runCli(static_cast<int>(std::size(argv)), argv,
+                            out, err);
+    EXPECT_EQ(code, 0) << err.str();
+    return out.str();
+}
+
+TEST(Cli, TickJobsSweepOutputIsByteIdentical)
+{
+    // --tick-jobs parallelizes ticking *inside* each simulation;
+    // like --jobs it is execution-only, so the streamed documents
+    // must be byte-for-byte identical across values (the CI
+    // determinism gate diffs exactly this).
+    const std::string serial = cliSweepJsonWithTickJobs("1");
+    EXPECT_EQ(serial, cliSweepJsonWithTickJobs("4"));
+    EXPECT_EQ(serial, cliSweepJsonWithTickJobs("0"));
+    // And identical to not passing the flag at all.
+    EXPECT_EQ(serial, cliSweepJson("1"));
+}
+
 TEST(Cli, RejectsGarbageJobs)
 {
     const char *argv[] = {"gpulat", "sweep", "--workload", "vecadd",
@@ -239,6 +276,17 @@ TEST(Cli, RejectsGarbageJobs)
                      err),
               2);
     EXPECT_NE(err.str().find("--jobs"), std::string::npos);
+
+    // The shared parser must blame the flag the user passed, not
+    // hardcode --jobs.
+    const char *tick_argv[] = {"gpulat", "sweep", "--workload",
+                               "vecadd", "--tick-jobs", "many"};
+    std::ostringstream out2;
+    std::ostringstream err2;
+    EXPECT_EQ(runCli(static_cast<int>(std::size(tick_argv)),
+                     tick_argv, out2, err2),
+              2);
+    EXPECT_NE(err2.str().find("--tick-jobs"), std::string::npos);
 }
 
 TEST(Cli, FailedCellReportsButSiblingsComplete)

@@ -3,6 +3,12 @@
  * The `gpulat` binary: one scriptable entry point for the whole
  * experiment matrix (preset x workload x overrides). All logic
  * lives in the library (api/cli.hh) so tests run the same path.
+ *
+ * Parallelism knobs compose: `--jobs N` runs N sweep cells
+ * concurrently, `--tick-jobs N` additionally ticks independent
+ * partition groups of each simulation on N workers — both are
+ * execution-only, so every combination emits byte-identical
+ * JSON/CSV records (CI's determinism gate diffs them).
  */
 
 #include <iostream>
