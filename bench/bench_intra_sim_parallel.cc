@@ -1,21 +1,27 @@
 /**
  * @file
- * Intra-simulation parallel-ticking bench: one multi-partition
- * memory-bound simulation, executed with `engine.tickJobs = 1`
- * (the serial reference) and with a worker pool ticking the
- * per-partition groups concurrently. Verifies that cycles, traces
- * and counters are byte-identical across worker counts (rendering
- * both records through the JSON sink), prints the wall-clock per
- * point, and writes the `BENCH_intrasim.json` perf artifact CI
- * uploads so intra-sim scaling is visible PR-over-PR.
+ * Intra-simulation parallel-ticking bench: two ladders over
+ * `engine.tickJobs`, one memory-bound (partition groups dominate)
+ * and one compute-bound (per-SM groups dominate). Each ladder
+ * verifies that cycles, traces and counters are byte-identical
+ * across worker counts (rendering records through the JSON sink),
+ * prints the wall-clock and serial-vs-parallel speedup per point,
+ * and writes the `BENCH_intrasim.json` perf artifact CI uploads so
+ * intra-sim scaling is visible PR-over-PR.
  *
- * The workload shape is chosen so partition work dominates: few
- * SMs (the SM group is one ordered batch), many memory partitions,
- * a deep FR-FCFS DRAM queue to scan per scheduling decision, and a
- * streaming footprint far beyond the L2 so every partition's DRAM
- * side stays busy. On a single-core host the parallel point
- * reports its honest (≈1x or below) ratio — the speedup column is
- * a measurement, the determinism check is the gate.
+ * Ladder shapes:
+ *  - memory-bound: few SMs, 8 partitions, deep FR-FCFS DRAM queues,
+ *    streaming footprint far beyond the L2 — per-cycle partition
+ *    work (queue scans, bank timing, L2 lookups) far outweighs the
+ *    SM slice.
+ *  - compute-bound: 8 SMs at full warp occupancy grinding long
+ *    dependent FFMA chains, 2 partitions — the per-SM tick groups
+ *    carry nearly all the work, exercising the SM sharding and the
+ *    work-stealing pool rather than the partition path.
+ *
+ * On a single-core host the parallel points report their honest
+ * (≈1x or below) ratios — the speedup columns are measurements,
+ * the determinism checks are the gate.
  */
 
 #include <chrono>
@@ -48,11 +54,21 @@ struct Point
     std::vector<std::pair<std::string, std::uint64_t>> groupTicks;
 };
 
+/** One tick-jobs ladder over a fixed workload shape. */
+struct Ladder
+{
+    std::string key;         ///< artifact object key
+    std::string title;       ///< table heading
+    std::string description; ///< artifact workload string
+    std::vector<Point> points;
+    bool identical = true;
+};
+
 /**
  * Memory-bound multi-partition cell: 2 SMs full of warps streaming
  * a 16 MiB footprint through 8 partitions with 64-deep FR-FCFS
- * DRAM queues — per-cycle partition work (queue scans, bank
- * timing, L2 lookups) far outweighs the serial SM/port slice.
+ * DRAM queues — per-cycle partition work far outweighs the SM
+ * slice.
  */
 ExperimentSpec
 memoryBoundSpec(std::size_t tick_jobs)
@@ -72,16 +88,38 @@ memoryBoundSpec(std::size_t tick_jobs)
     return spec;
 }
 
+/**
+ * Compute-bound many-SM cell: 8 SMs at 48 warps each grinding
+ * dependent 192-deep FFMA chains, only 2 partitions — nearly all
+ * per-cycle work lives in the per-SM tick groups (compute_stream's
+ * kernel is loop-free and affine, so the launch safety analysis
+ * lets the SMs tick concurrently).
+ */
+ExperimentSpec
+computeBoundSpec(std::size_t tick_jobs)
+{
+    ExperimentSpec spec;
+    spec.gpu = "gf106";
+    spec.workload = "compute_stream";
+    spec.params = {"n=" + std::to_string(1 << 15), "fmaDepth=192"};
+    spec.overrides = {
+        "numSms=8",
+        "numPartitions=2",
+        "sm.warpSlots=48",
+        "engine.tickJobs=" + std::to_string(tick_jobs),
+    };
+    return spec;
+}
+
 Point
-runPoint(std::size_t tick_jobs)
+runPoint(const ExperimentSpec &spec, std::size_t tick_jobs)
 {
     Point point;
     point.tickJobsRequested = tick_jobs;
 
     const auto t0 = std::chrono::steady_clock::now();
     const ExperimentRecord rec = runExperiment(
-        memoryBoundSpec(tick_jobs),
-        [&](Gpu &gpu, const ExperimentRecord &) {
+        spec, [&](Gpu &gpu, const ExperimentRecord &) {
             const TickEngine &engine = gpu.engine();
             for (unsigned g = 0; g < engine.numGroups(); ++g) {
                 point.groupTicks.emplace_back(
@@ -105,43 +143,103 @@ runPoint(std::size_t tick_jobs)
     return point;
 }
 
+/** serial wall / fastest parallel wall (0 when unmeasurable). */
+double
+bestSpeedup(const std::vector<Point> &points)
+{
+    const double serial_ms = points.front().wallMs;
+    double best_ms = 0.0;
+    for (std::size_t i = 1; i < points.size(); ++i)
+        if (best_ms == 0.0 || points[i].wallMs < best_ms)
+            best_ms = points[i].wallMs;
+    return best_ms > 0.0 ? serial_ms / best_ms : 0.0;
+}
+
+Ladder
+runLadder(std::string key, std::string title, std::string desc,
+          ExperimentSpec (*spec)(std::size_t),
+          const std::vector<std::size_t> &jobs_ladder)
+{
+    Ladder ladder;
+    ladder.key = std::move(key);
+    ladder.title = std::move(title);
+    ladder.description = std::move(desc);
+
+    std::cout << "\n" << ladder.title << "\n";
+    std::cout << std::setw(10) << "tickJobs" << std::setw(12)
+              << "wall ms" << std::setw(12) << "cycles"
+              << std::setw(10) << "speedup" << "\n";
+    for (const std::size_t tick_jobs : jobs_ladder) {
+        ladder.points.push_back(runPoint(spec(tick_jobs), tick_jobs));
+        const Point &p = ladder.points.back();
+        std::cout << std::setw(10) << tick_jobs << std::setw(12)
+                  << std::fixed << std::setprecision(1) << p.wallMs
+                  << std::setw(12) << p.cycles << std::setw(9)
+                  << std::setprecision(2)
+                  << (p.wallMs > 0.0
+                          ? ladder.points.front().wallMs / p.wallMs
+                          : 0.0)
+                  << "x\n";
+        if (!p.correct)
+            std::cout << "FUNCTIONAL MISMATCH at tickJobs="
+                      << tick_jobs << "\n";
+        ladder.identical &=
+            p.json == ladder.points.front().json;
+    }
+    std::cout << (ladder.identical
+                      ? "records byte-identical across tickJobs: OK\n"
+                      : "records DIFFER across tickJobs: BUG\n");
+    return ladder;
+}
+
 void
 writeArtifact(const std::string &path,
-              const std::vector<Point> &points, bool identical)
+              const std::vector<Ladder> &ladders)
 {
     std::ofstream os(path);
     if (!os)
         fatal("cannot write '", path, "'");
-    os << "{\n  \"schema\": \"gpulat.bench_intrasim.v1\",\n"
+    bool all_identical = true;
+    for (const Ladder &ladder : ladders)
+        all_identical &= ladder.identical;
+    os << "{\n  \"schema\": \"gpulat.bench_intrasim.v2\",\n"
        << "  \"bench\": \"intra_sim_parallel\",\n"
-       << "  \"workload\": "
-       << jsonQuote("vecadd n=262144 (gf106, 2 SMs / 8 partitions, "
-                    "48 warps/SM, dramQueueSize=64)")
-       << ",\n  \"hardware_concurrency\": "
+       << "  \"hardware_concurrency\": "
        << TickEngine::resolveTickJobs(0)
        << ",\n  \"records_byte_identical\": "
-       << (identical ? "true" : "false") << ",\n  \"points\": [\n";
-    for (std::size_t i = 0; i < points.size(); ++i) {
-        const Point &p = points[i];
-        os << "    {\"tick_jobs\": " << p.tickJobsRequested
-           << ", \"tick_jobs_resolved\": " << p.tickJobsResolved
-           << ", \"wall_ms\": " << std::fixed << std::setprecision(2)
-           << p.wallMs << ", \"cycles\": " << p.cycles
-           << ", \"correct\": " << (p.correct ? "true" : "false")
-           << ", \"groups\": [";
-        for (std::size_t g = 0; g < p.groupTicks.size(); ++g) {
-            os << (g ? ", " : "") << "{\"name\": "
-               << jsonQuote(p.groupTicks[g].first)
-               << ", \"ticks_run\": " << p.groupTicks[g].second
-               << "}";
+       << (all_identical ? "true" : "false")
+       << ",\n  \"ladders\": {\n";
+    for (std::size_t l = 0; l < ladders.size(); ++l) {
+        const Ladder &ladder = ladders[l];
+        os << "    " << jsonQuote(ladder.key) << ": {\n"
+           << "      \"workload\": " << jsonQuote(ladder.description)
+           << ",\n      \"records_byte_identical\": "
+           << (ladder.identical ? "true" : "false")
+           << ",\n      \"points\": [\n";
+        for (std::size_t i = 0; i < ladder.points.size(); ++i) {
+            const Point &p = ladder.points[i];
+            os << "        {\"tick_jobs\": " << p.tickJobsRequested
+               << ", \"tick_jobs_resolved\": " << p.tickJobsResolved
+               << ", \"wall_ms\": " << std::fixed
+               << std::setprecision(2) << p.wallMs
+               << ", \"cycles\": " << p.cycles << ", \"correct\": "
+               << (p.correct ? "true" : "false")
+               << ", \"groups\": [";
+            for (std::size_t g = 0; g < p.groupTicks.size(); ++g) {
+                os << (g ? ", " : "") << "{\"name\": "
+                   << jsonQuote(p.groupTicks[g].first)
+                   << ", \"ticks_run\": " << p.groupTicks[g].second
+                   << "}";
+            }
+            os << "]}"
+               << (i + 1 < ladder.points.size() ? "," : "") << "\n";
         }
-        os << "]}" << (i + 1 < points.size() ? "," : "") << "\n";
+        os << "      ],\n      \"speedup\": "
+           << "{\"parallel_vs_serial\": " << std::setprecision(2)
+           << bestSpeedup(ladder.points) << "}\n    }"
+           << (l + 1 < ladders.size() ? "," : "") << "\n";
     }
-    const double serial_ms = points.front().wallMs;
-    const double par_ms = points.back().wallMs;
-    os << "  ],\n  \"speedup\": {\"parallel_vs_serial\": "
-       << std::setprecision(2)
-       << (par_ms > 0.0 ? serial_ms / par_ms : 0.0) << "}\n}\n";
+    os << "  }\n}\n";
     std::cout << "wrote " << path << "\n";
 }
 
@@ -177,47 +275,34 @@ main(int argc, char **argv)
         ladder.push_back(std::min<std::size_t>(hw, 8));
     ladder.push_back(4);
 
-    std::cout << "Intra-simulation parallel ticking "
-                 "(memory-bound vecadd, 8 partitions; "
-              << hw << " hardware threads)\n";
-    std::cout << std::setw(10) << "tickJobs" << std::setw(12)
-              << "wall ms" << std::setw(12) << "cycles"
-              << std::setw(10) << "speedup" << "\n";
+    std::cout << "Intra-simulation parallel ticking (" << hw
+              << " hardware threads)\n";
 
-    std::vector<Point> points;
+    std::vector<Ladder> ladders;
+    ladders.push_back(runLadder(
+        "memory_bound",
+        "memory-bound: vecadd, 2 SMs / 8 partitions",
+        "vecadd n=262144 (gf106, 2 SMs / 8 partitions, "
+        "48 warps/SM, dramQueueSize=64)",
+        memoryBoundSpec, ladder));
+    ladders.push_back(runLadder(
+        "compute_bound",
+        "compute-bound: compute_stream, 8 SMs / 2 partitions",
+        "compute_stream n=32768 fmaDepth=192 (gf106, 8 SMs / "
+        "2 partitions, 48 warps/SM)",
+        computeBoundSpec, ladder));
+
     bool ok = true;
-    for (const std::size_t tick_jobs : ladder) {
-        points.push_back(runPoint(tick_jobs));
-        const Point &p = points.back();
-        ok &= p.correct;
-        std::cout << std::setw(10) << tick_jobs << std::setw(12)
-                  << std::fixed << std::setprecision(1) << p.wallMs
-                  << std::setw(12) << p.cycles << std::setw(9)
-                  << std::setprecision(2)
-                  << (p.wallMs > 0.0
-                          ? points.front().wallMs / p.wallMs
-                          : 0.0)
-                  << "x\n";
-        if (!p.correct)
-            std::cout << "FUNCTIONAL MISMATCH at tickJobs="
-                      << tick_jobs << "\n";
+    for (const Ladder &l : ladders) {
+        ok &= l.identical;
+        for (const Point &p : l.points) {
+            ok &= p.correct;
+            sinks.write(p.rec);
+        }
     }
-
-    // The gate: every point's full record — cycles, traces-derived
-    // metrics, every counter — must render byte-identically.
-    bool identical = true;
-    for (const Point &p : points)
-        identical &= p.json == points.front().json;
-    std::cout << (identical
-                      ? "records byte-identical across tickJobs: OK\n"
-                      : "records DIFFER across tickJobs: BUG\n");
-    ok &= identical;
-
-    for (const Point &p : points)
-        sinks.write(p.rec);
     sinks.finish();
 
     if (!artifact.empty())
-        writeArtifact(artifact, points, identical);
+        writeArtifact(artifact, ladders);
     return ok ? 0 : 1;
 }

@@ -50,9 +50,9 @@ usage(std::ostream &err)
            "                     to --jobs 1, committed in sweep "
            "order)\n"
            "  --tick-jobs N      worker threads ticking partition "
-           "groups *inside*\n"
-           "                     each simulation (default 1 = "
-           "serial; 0 = hardware\n"
+           "and SM groups\n"
+           "                     *inside* each simulation (default "
+           "1 = serial; 0 = hardware\n"
            "                     concurrency; output is "
            "byte-identical to\n"
            "                     --tick-jobs 1; same as --set "

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/log.hh"
+#include "gpu/kernel_analysis.hh"
 
 namespace gpulat {
 
@@ -93,6 +94,11 @@ Gpu::Gpu(GpuConfig config)
             p, part_params, &stats_));
     }
 
+    // One collector shard per SM — shards must exist before the SM
+    // constructors grab their append handles.
+    latCollector_.resize(config_.numSms);
+    expCollector_.resize(config_.numSms);
+
     auto partition_of = [this](Addr line) {
         return config_.partitionOf(line);
     };
@@ -101,7 +107,7 @@ Gpu::Gpu(GpuConfig config)
         sm.smId = s;
         sms_.push_back(std::make_unique<SmCore>(
             sm, &dmem_, &stats_, &latCollector_, &expCollector_,
-            &reqNet_, partition_of, &nextReqId_));
+            &reqNet_, partition_of));
     }
 
     // Wire the engine. Registration order is intra-cycle tick order
@@ -118,14 +124,31 @@ Gpu::Gpu(GpuConfig config)
     // concurrently): each partition's two sides form one group —
     // tickMemSide()/tickL2Side() touch only that partition's
     // queues, banks and pre-resolved counters, so partitions
-    // commute with each other and with the SM group. The SM cores
-    // share a *single* group because their ticks append to ordered
-    // shared state (latency/exposure collectors, the request-id
-    // sequence, device memory), which must stay in registration
-    // order. Ports, crossbars and the dispatcher move packets
-    // *between* groups, so they stay on the coordinator (group 0)
-    // and act as ordering barriers around the parallel batches.
-    const unsigned sm_group = engine_.addGroup("sm");
+    // commute with each other and with the SM groups. SM cores
+    // append only to per-SM state (their own collector shards,
+    // their own request-id pool, per-source crossbar inject
+    // queues), so clusters of engine.smGroupSize SMs get their own
+    // groups — subject to the per-launch kernel safety analysis in
+    // launch(), which serializes SMs whose kernel could race on
+    // device memory (functional execution happens at issue).
+    // smGroupSize == 0 restores the single fused "sm" group. Ports,
+    // crossbars and the dispatcher move packets *between* groups,
+    // so they stay on the coordinator (group 0) and act as ordering
+    // barriers around the parallel batches.
+    const std::size_t cluster = config_.engine.smGroupSize;
+    smGroupOf_.resize(config_.numSms);
+    if (cluster == 0) {
+        const unsigned fused = engine_.addGroup("sm");
+        std::fill(smGroupOf_.begin(), smGroupOf_.end(), fused);
+    } else {
+        unsigned group = 0;
+        for (unsigned s = 0; s < config_.numSms; ++s) {
+            if (s % cluster == 0)
+                group = engine_.addGroup(
+                    "sm" + std::to_string(s / cluster));
+            smGroupOf_[s] = group;
+        }
+    }
     engine_.add(icnt, reqNet_);
     engine_.add(icnt, respNet_);
     engine_.add(l2, reqEject_);
@@ -141,8 +164,8 @@ Gpu::Gpu(GpuConfig config)
     }
     engine_.add(icnt, respInject_);
     engine_.add(core, respEject_);
-    for (auto &sm : sms_)
-        engine_.add(core, *sm, sm_group);
+    for (unsigned s = 0; s < config_.numSms; ++s)
+        engine_.add(core, *sms_[s], smGroupOf_[s]);
     engine_.add(core, dispatcher_);
 
     // Wake edges: every path a performed tick can deliver input
@@ -236,8 +259,12 @@ std::uint64_t
 Gpu::activitySignature() const
 {
     // Any packet movement or instruction progress perturbs this;
-    // equality across a long window means a genuine stall.
-    std::uint64_t sig = nextReqId_ + dispatcher_.nextBlock();
+    // equality across a long window means a genuine stall. The
+    // per-SM request pools sum to the old shared counter's value,
+    // so the signature is numerically unchanged by the sharding.
+    std::uint64_t sig = dispatcher_.nextBlock();
+    for (const auto &sm : sms_)
+        sig += sm->requestsIssued();
     for (unsigned s = 0; s < config_.numSms; ++s) {
         const std::string prefix = "sm" + std::to_string(s);
         sig += stats_.counterValue(prefix + ".issued");
@@ -279,6 +306,27 @@ Gpu::stallReport(const std::string &kernel_name)
             << " ticks_skipped=" << domain->componentTicksSkipped()
             << " local_cycles=" << domain->localCycles() << "\n";
     }
+    // Per-tick-group progress: group tick totals are invariant
+    // across tickJobs, so a group whose ticks_run froze is stalled
+    // in every schedule. SM groups also aggregate member idle.
+    for (unsigned g = 1; g < engine_.numGroups(); ++g) {
+        oss << "  engine.group." << engine_.groupName(g)
+            << ": ticks_run=" << engine_.groupTicksRun(g);
+        std::uint64_t idle = 0;
+        bool any_sm = false;
+        for (unsigned s = 0; s < config_.numSms; ++s) {
+            if (smGroupOf_[s] != g)
+                continue;
+            any_sm = true;
+            idle += stats_.counterValue(
+                "sm" + std::to_string(s) + ".idle_cycles");
+        }
+        if (any_sm)
+            oss << " idle=" << idle;
+        oss << "\n";
+    }
+    if (!smParallelNote_.empty())
+        oss << "  sm-parallel: " << smParallelNote_ << "\n";
     oss << "  icnt: req=" << reqNet_.inFlight()
         << " resp=" << respNet_.inFlight() << " in flight\n";
     for (unsigned s = 0; s < config_.numSms; ++s) {
@@ -350,6 +398,25 @@ Gpu::launch(const Kernel &kernel, unsigned num_blocks,
             localAllocBytes_ = ctx_.localBytesPerThread;
         }
         ctx_.localBase = localBase_;
+    }
+
+    // Decide whether this launch may tick SMs concurrently. With
+    // per-cluster SM groups the analysis gates concurrency; an
+    // unsafe kernel (loops, atomics, data-dependent stores) pins
+    // every SM to the coordinator for this launch. Group tick
+    // *counters* stay with the declared groups either way, so
+    // records are identical across tickJobs regardless of the
+    // verdict. The fused smGroupSize == 0 shape keeps SMs in
+    // registration order within their single group and needs no
+    // gating.
+    if (config_.engine.smGroupSize != 0) {
+        const SmParallelVerdict verdict = analyzeSmParallelSafety(
+            kernel, num_blocks, threads_per_block, ctx_.params);
+        smParallelNote_ = std::string(verdict.safe ? "parallel ("
+                                                   : "serialized (") +
+                          verdict.reason + ")";
+        for (auto &sm : sms_)
+            engine_.setSerialized(*sm, !verdict.safe);
     }
 
     dispatcher_.beginGrid(num_blocks);

@@ -123,7 +123,12 @@ class Gpu
     std::vector<std::unique_ptr<PartitionL2Side>> partL2Sides_;
     /** @} */
 
-    std::uint64_t nextReqId_ = 0;
+    /** Declared tick group of each SM core (stall reports). */
+    std::vector<unsigned> smGroupOf_;
+    /** Verdict of the current launch's SM-parallel safety analysis
+     *  (kernel_analysis.hh); shown in watchdog stall reports. */
+    std::string smParallelNote_;
+
     LaunchContext ctx_;
 
     /** Local-memory backing store, reused across launches with the

@@ -1,0 +1,306 @@
+#include "gpu/kernel_analysis.hh"
+
+#include <algorithm>
+#include <cstdlib>
+#include <vector>
+
+namespace gpulat {
+
+namespace {
+
+/**
+ * Abstract register value: `tidCoeff*tid + ctaCoeff*ctaid + base`
+ * when `known`, else unknown. Constants are affine values with zero
+ * coefficients. Arithmetic is evaluated in signed 64-bit; the
+ * workload kernels stay far from overflow (device memory is tens of
+ * MiB), and an overflowing kernel would merely risk a spurious
+ * "unsafe", never a spurious "safe", because every unmodellable
+ * construct already falls to unknown.
+ */
+struct AbsVal
+{
+    bool known = false;
+    std::int64_t tidCoeff = 0;
+    std::int64_t ctaCoeff = 0;
+    std::int64_t base = 0;
+};
+
+AbsVal
+constant(std::int64_t v)
+{
+    return AbsVal{true, 0, 0, v};
+}
+
+bool
+isConst(const AbsVal &v)
+{
+    return v.known && v.tidCoeff == 0 && v.ctaCoeff == 0;
+}
+
+AbsVal
+add(const AbsVal &a, const AbsVal &b)
+{
+    if (!a.known || !b.known)
+        return AbsVal{};
+    return AbsVal{true, a.tidCoeff + b.tidCoeff,
+                  a.ctaCoeff + b.ctaCoeff, a.base + b.base};
+}
+
+AbsVal
+sub(const AbsVal &a, const AbsVal &b)
+{
+    if (!a.known || !b.known)
+        return AbsVal{};
+    return AbsVal{true, a.tidCoeff - b.tidCoeff,
+                  a.ctaCoeff - b.ctaCoeff, a.base - b.base};
+}
+
+AbsVal
+mul(const AbsVal &a, const AbsVal &b)
+{
+    if (!a.known || !b.known)
+        return AbsVal{};
+    // Affine * affine stays affine only when one side is constant.
+    if (isConst(a))
+        return AbsVal{true, b.tidCoeff * a.base, b.ctaCoeff * a.base,
+                      b.base * a.base};
+    if (isConst(b))
+        return AbsVal{true, a.tidCoeff * b.base, a.ctaCoeff * b.base,
+                      a.base * b.base};
+    return AbsVal{};
+}
+
+/** One global LD/ST with an affine address (op address + imm). */
+struct GlobalAccess
+{
+    AbsVal addr;
+    bool isStore = false;
+    std::uint32_t pc = 0;
+};
+
+/** Access width of every LD/ST in this ISA. */
+constexpr std::int64_t kAccessBytes = 8;
+
+/**
+ * Inclusive-exclusive byte range an affine access can touch across
+ * the whole grid (tid in [0,T), ctaid in [0,B)). A superset of the
+ * real footprint when guards mask tail lanes — safe direction.
+ */
+struct ByteRange
+{
+    std::int64_t lo;
+    std::int64_t hi;
+};
+
+ByteRange
+footprint(const AbsVal &addr, unsigned num_blocks,
+          unsigned threads_per_block)
+{
+    const std::int64_t t_span =
+        addr.tidCoeff * std::int64_t(threads_per_block - 1);
+    const std::int64_t b_span =
+        addr.ctaCoeff * std::int64_t(num_blocks - 1);
+    std::int64_t lo = addr.base + std::min<std::int64_t>(t_span, 0) +
+                      std::min<std::int64_t>(b_span, 0);
+    std::int64_t hi = addr.base + std::max<std::int64_t>(t_span, 0) +
+                      std::max<std::int64_t>(b_span, 0) + kAccessBytes;
+    return ByteRange{lo, hi};
+}
+
+bool
+disjoint(const ByteRange &a, const ByteRange &b)
+{
+    return a.hi <= b.lo || b.hi <= a.lo;
+}
+
+/**
+ * True if accesses @p a and @p b can never touch the same bytes from
+ * *different blocks*. Same-block overlap is harmless: a block lives
+ * on one SM, and intra-SM ordering is identical under every tick
+ * schedule. Two cases prove cross-block disjointness:
+ *
+ *  1. Whole-grid footprints never intersect (different arrays).
+ *  2. Identical affine form: equal coefficients and a block stride
+ *     wide enough that any two distinct ctaids are farther apart
+ *     than the full tid span plus the base offset between the two
+ *     accesses plus the access width.
+ */
+bool
+crossBlockDisjoint(const GlobalAccess &a, const GlobalAccess &b,
+                   unsigned num_blocks, unsigned threads_per_block)
+{
+    if (num_blocks <= 1)
+        return true;
+    if (disjoint(footprint(a.addr, num_blocks, threads_per_block),
+                 footprint(b.addr, num_blocks, threads_per_block)))
+        return true;
+    if (a.addr.tidCoeff != b.addr.tidCoeff ||
+        a.addr.ctaCoeff != b.addr.ctaCoeff)
+        return false;
+    const std::int64_t tid_span =
+        std::abs(a.addr.tidCoeff) *
+        std::int64_t(threads_per_block - 1);
+    const std::int64_t base_delta =
+        std::abs(a.addr.base - b.addr.base);
+    return std::abs(a.addr.ctaCoeff) >=
+           tid_span + base_delta + kAccessBytes;
+}
+
+SmParallelVerdict
+unsafe(std::string reason)
+{
+    return SmParallelVerdict{false, std::move(reason)};
+}
+
+} // namespace
+
+SmParallelVerdict
+analyzeSmParallelSafety(const Kernel &kernel, unsigned num_blocks,
+                        unsigned threads_per_block,
+                        const std::array<RegValue, kMaxParams> &params)
+{
+    if (num_blocks <= 1)
+        return SmParallelVerdict{true, "single block occupies one SM"};
+
+    // Pass 1: control flow. Loops would require a fixpoint; any
+    // memory access at/after a reconvergence point may read
+    // registers whose value depends on which lanes took the branch.
+    std::uint32_t first_join = kernel.code.size();
+    for (std::uint32_t pc = 0; pc < kernel.code.size(); ++pc) {
+        const Instruction &inst = kernel.code[pc];
+        if (inst.isAtomic())
+            return unsafe("atomic at pc " + std::to_string(pc));
+        if (inst.isBranch()) {
+            if (inst.target <= pc)
+                return unsafe("backward branch at pc " +
+                              std::to_string(pc));
+            first_join = std::min(first_join, inst.target);
+        }
+    }
+
+    // Pass 2: abstract interpretation over the straight-line order.
+    // Between a forward branch and its target the state is exact for
+    // the fall-through lanes (the only ones executing there).
+    std::array<AbsVal, kNumRegs> regs{};
+    std::vector<GlobalAccess> accesses;
+    bool have_store = false;
+
+    for (std::uint32_t pc = 0; pc < kernel.code.size(); ++pc) {
+        const Instruction &inst = kernel.code[pc];
+
+        if (inst.isMemory() && inst.space == MemSpace::Global) {
+            if (pc >= first_join)
+                return unsafe("global access after reconvergence "
+                              "at pc " + std::to_string(pc));
+            const AbsVal addr =
+                add(regs[inst.srcA], constant(inst.imm));
+            if (inst.isStore()) {
+                if (!addr.known)
+                    return unsafe("non-affine store address at pc " +
+                                  std::to_string(pc));
+                have_store = true;
+                accesses.push_back({addr, true, pc});
+            } else {
+                // Loads may be non-affine (pointer chase) as long as
+                // the kernel is store-free; record the gap instead
+                // of the access and check at the end.
+                accesses.push_back({addr, false, pc});
+            }
+        }
+
+        const auto setDst = [&](AbsVal v) {
+            // A guarded write makes the register lane-dependent.
+            if (inst.pred != kNoReg)
+                v = AbsVal{};
+            if (inst.dst != kNoReg)
+                regs[inst.dst] = v;
+        };
+        const auto srcOrImm = [&](int reg) {
+            return inst.useImm ? constant(inst.imm)
+                               : (reg != kNoReg ? regs[reg] : AbsVal{});
+        };
+
+        switch (inst.op) {
+          case Opcode::MOV:
+            if (inst.param != kNoReg)
+                setDst(constant(std::int64_t(params[inst.param])));
+            else if (inst.useImm)
+                setDst(constant(inst.imm));
+            else
+                setDst(regs[inst.srcA]);
+            break;
+          case Opcode::S2R:
+            switch (inst.sreg) {
+              case SpecialReg::Tid:
+                setDst(AbsVal{true, 1, 0, 0});
+                break;
+              case SpecialReg::Ctaid:
+                setDst(AbsVal{true, 0, 1, 0});
+                break;
+              case SpecialReg::Ntid:
+                setDst(constant(threads_per_block));
+                break;
+              case SpecialReg::Nctaid:
+                setDst(constant(num_blocks));
+                break;
+              default: // LaneId/WarpId/SmId: schedule-dependent.
+                setDst(AbsVal{});
+            }
+            break;
+          case Opcode::IADD:
+            setDst(add(regs[inst.srcA], srcOrImm(inst.srcB)));
+            break;
+          case Opcode::ISUB:
+            setDst(sub(regs[inst.srcA], srcOrImm(inst.srcB)));
+            break;
+          case Opcode::IMUL:
+            setDst(mul(regs[inst.srcA], srcOrImm(inst.srcB)));
+            break;
+          case Opcode::IMAD:
+            setDst(add(mul(regs[inst.srcA], srcOrImm(inst.srcB)),
+                       regs[inst.srcC]));
+            break;
+          case Opcode::SHL: {
+            const AbsVal sh = srcOrImm(inst.srcB);
+            if (isConst(sh) && sh.base >= 0 && sh.base < 63)
+                setDst(mul(regs[inst.srcA],
+                           constant(std::int64_t{1} << sh.base)));
+            else
+                setDst(AbsVal{});
+            break;
+          }
+          default:
+            // Everything else either writes nothing (SETP, BRA, BAR,
+            // EXIT, NOP, ST) or produces a value the affine domain
+            // cannot track (FP ops, shifts right, logic ops, CLOCK,
+            // LD results).
+            setDst(AbsVal{});
+        }
+    }
+
+    if (!have_store)
+        return SmParallelVerdict{true, "store-free global footprint"};
+
+    for (std::size_t i = 0; i < accesses.size(); ++i) {
+        for (std::size_t j = i; j < accesses.size(); ++j) {
+            if (!accesses[i].isStore && !accesses[j].isStore)
+                continue; // load/load pairs never race
+            if (!accesses[i].addr.known || !accesses[j].addr.known)
+                return unsafe("non-affine load with live stores at "
+                              "pc " + std::to_string(
+                                  accesses[i].addr.known
+                                      ? accesses[j].pc
+                                      : accesses[i].pc));
+            if (!crossBlockDisjoint(accesses[i], accesses[j],
+                                    num_blocks, threads_per_block))
+                return unsafe(
+                    "possible cross-block overlap between pc " +
+                    std::to_string(accesses[i].pc) + " and pc " +
+                    std::to_string(accesses[j].pc));
+        }
+    }
+    return SmParallelVerdict{true, "affine cross-block-disjoint "
+                                   "global footprint"};
+}
+
+} // namespace gpulat

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Launch-time safety analysis for SM-parallel ticking.
+ *
+ * SMs execute instructions *functionally at issue*, so two SMs in
+ * different tick groups may race on device memory if their blocks'
+ * global stores can touch the same lines a sibling block loads or
+ * stores. This analysis proves, per launch, that they cannot: it
+ * abstractly interprets the kernel over affine values
+ * `tidCoeff*tid + ctaCoeff*ctaid + base` (parameters are concrete at
+ * launch, so array bases fold into `base`) and checks that every
+ * global store footprint is injective across blocks and disjoint
+ * from — or block-private w.r.t. — every global load.
+ *
+ * The verdict gates TickEngine::setSerialized() on the SM cores:
+ * kernels that pass tick SM-parallel, kernels that don't (loops,
+ * atomics, data-dependent addressing) fall back to coordinator
+ * ticking for that launch. Either way results are byte-identical to
+ * the serial schedule; the analysis only decides how much
+ * parallelism is safe to use.
+ */
+
+#ifndef GPULAT_GPU_KERNEL_ANALYSIS_HH
+#define GPULAT_GPU_KERNEL_ANALYSIS_HH
+
+#include <array>
+#include <string>
+
+#include "isa/isa.hh"
+#include "isa/kernel.hh"
+
+namespace gpulat {
+
+/** Outcome of the launch-time SM-parallel safety analysis. */
+struct SmParallelVerdict
+{
+    /** True if SMs may tick concurrently during this launch. */
+    bool safe = false;
+    /** Human-readable justification (stall reports / tests). */
+    std::string reason;
+};
+
+/**
+ * Decide whether a launch can tick its SMs concurrently.
+ *
+ * Conservative: any construct the affine domain cannot model
+ * (backward branches, atomics, data-dependent or post-reconvergence
+ * addressing, non-affine store addresses, potentially overlapping
+ * cross-block footprints) yields `safe == false`. Local and shared
+ * accesses are always block/thread-private and never serialize.
+ */
+SmParallelVerdict
+analyzeSmParallelSafety(const Kernel &kernel, unsigned numBlocks,
+                        unsigned threadsPerBlock,
+                        const std::array<RegValue, kMaxParams> &params);
+
+} // namespace gpulat
+
+#endif // GPULAT_GPU_KERNEL_ANALYSIS_HH

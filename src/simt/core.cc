@@ -35,8 +35,7 @@ SmCore::SmCore(const SmParams &params, DeviceMemory *dmem,
                StatRegistry *stats, LatencyCollector *lat_collector,
                ExposureCollector *exp_collector,
                Crossbar<MemRequest> *req_net,
-               std::function<unsigned(Addr)> partition_of,
-               std::uint64_t *next_req_id)
+               std::function<unsigned(Addr)> partition_of)
     : params_(params),
       dmem_(dmem),
       stats_(stats),
@@ -44,13 +43,16 @@ SmCore::SmCore(const SmParams &params, DeviceMemory *dmem,
       expCollector_(exp_collector),
       reqNet_(req_net),
       partitionOf_(std::move(partition_of)),
-      nextReqId_(next_req_id),
       l1Mshr_(params.l1MshrEntries, params.l1MshrMaxMerge),
       lsuQueue_(params.lsuQueueSize, params.smBaseLatency),
       missQueue_(params.l1MissQueueSize, params.l1MissLatency)
 {
     GPULAT_ASSERT(dmem_ && stats_, "SM needs memory and stats");
     GPULAT_ASSERT(params_.numSchedulers > 0, "SM needs a scheduler");
+    if (latCollector_)
+        latShard_ = &latCollector_->shard(params_.smId);
+    if (expCollector_)
+        expShard_ = &expCollector_->shard(params_.smId);
 
     warps_.resize(params_.warpSlots);
     blocks_.resize(params_.maxBlocksPerSm);
@@ -243,11 +245,12 @@ SmCore::completeLoadTxn(LoadToken token, Cycle now)
 
     warps_[load.warpSlot].clearRegPending(load.destReg);
     loadsCompleted_->inc();
-    if (expCollector_) {
+    if (expShard_) {
         const Cycle total = now - load.issueCycle;
         const Cycle exposed =
             static_cast<Cycle>(idleCum_ - load.idleAtIssue);
-        expCollector_->record(total, std::min(exposed, total));
+        expShard_->record(tagCycle_, tagPhase_, total,
+                          std::min(exposed, total));
     }
     load.valid = false;
     freeTokens_.push_back(token);
@@ -696,8 +699,8 @@ SmCore::tickWriteback(Cycle now)
         HitDone done = hitWheel_.begin()->second;
         hitWheel_.erase(hitWheel_.begin());
         done.trace.complete = at;
-        if (latCollector_ && latCollector_->enabled())
-            latCollector_->record(done.trace);
+        if (latShard_ && latCollector_->enabled())
+            latShard_->record(now, tagPhase_, done.trace);
         completeLoadTxn(done.token, at);
     }
 }
@@ -728,7 +731,13 @@ SmCore::tickLsu(Cycle now)
 
     auto make_request = [&]() {
         MemRequest req;
-        req.id = (*nextReqId_)++;
+        // Per-SM id pool: globally unique without shared state. Ids
+        // are only ever compared for equality (MSHR primary-marker
+        // matching), never used for ordering or arbitration, so the
+        // value change versus a shared sequence is timing-neutral.
+        req.id = (static_cast<std::uint64_t>(params_.smId)
+                  << kReqIdSmShift) |
+            reqSeq_++;
         req.lineAddr = txn.lineAddr;
         req.isWrite = !op.isLoad;
         req.isAtomic = op.isAtomic;
@@ -804,6 +813,10 @@ SmCore::tickIssue(Cycle now)
 void
 SmCore::tick(Cycle now)
 {
+    // Records appended from inside the tick merge after this
+    // cycle's port deliveries (phase 0), in SM order.
+    tagCycle_ = now;
+    tagPhase_ = 1;
     tickWriteback(now);
     tickInject(now);
     tickLsu(now);
@@ -927,10 +940,15 @@ SmCore::occupancySummary() const
 void
 SmCore::acceptResponse(Cycle now, MemRequest req)
 {
+    // Phase 0: the return port ticks (and delivers) before every
+    // SM's own tick within a cycle, in ascending smId order — the
+    // merge tag reproduces exactly that interleaving.
+    tagCycle_ = now;
+    tagPhase_ = 0;
     wokeSinceTick_ = true;
     req.trace.complete = now;
-    if (latCollector_ && latCollector_->enabled() && !req.isWrite)
-        latCollector_->record(req.trace);
+    if (latShard_ && latCollector_->enabled() && !req.isWrite)
+        latShard_->record(now, tagPhase_, req.trace);
 
     if (l1Caches(req.space) && !req.isAtomic) {
         // Allocate-on-fill; L1 is write-through so victims are

@@ -95,14 +95,18 @@ class SmCore : public Clocked
      * @param exp_collector per-load exposure records (may be null).
      * @param req_net request network (SM -> partition).
      * @param partition_of line address -> partition index.
-     * @param next_req_id shared request id counter.
+     *
+     * Request ids are drawn from a per-SM pool (smId in the high
+     * bits, a private sequence below), and trace/exposure records
+     * go to this SM's private collector shards — the SM shares no
+     * mutable collector or counter state with its siblings, so SMs
+     * in different tick groups may tick concurrently.
      */
     SmCore(const SmParams &params, DeviceMemory *dmem,
            StatRegistry *stats, LatencyCollector *lat_collector,
            ExposureCollector *exp_collector,
            Crossbar<MemRequest> *req_net,
-           std::function<unsigned(Addr)> partition_of,
-           std::uint64_t *next_req_id);
+           std::function<unsigned(Addr)> partition_of);
 
     /** Bind the SM to the current launch (invalidates nothing). */
     void startLaunch(const LaunchContext *ctx);
@@ -150,6 +154,14 @@ class SmCore : public Clocked
 
     /** Loads issued but not yet written back. */
     unsigned inflightLoads() const { return inflightCount_; }
+
+    /** Memory requests this SM has created (local id pool size);
+     *  the sum over SMs equals the old shared-counter value, so
+     *  progress signatures stay numerically identical. */
+    std::uint64_t requestsIssued() const { return reqSeq_; }
+
+    /** Request-id layout: smId above, per-SM sequence below. */
+    static constexpr unsigned kReqIdSmShift = 48;
 
     /** One-line queue-occupancy summary (for stall reports). */
     std::string occupancySummary() const;
@@ -242,9 +254,21 @@ class SmCore : public Clocked
     StatRegistry *stats_;
     LatencyCollector *latCollector_;
     ExposureCollector *expCollector_;
+    /** This SM's private append shards (null iff collector null). */
+    LatencyCollector::Shard *latShard_ = nullptr;
+    ExposureCollector::Shard *expShard_ = nullptr;
     Crossbar<MemRequest> *reqNet_;
     std::function<unsigned(Addr)> partitionOf_;
-    std::uint64_t *nextReqId_;
+    /** Next value of this SM's private request-id pool. */
+    std::uint64_t reqSeq_ = 0;
+    /** @name Collector merge tag of the current entry point @{
+     * Phase 0: acceptResponse() (the return port ticks before every
+     * SM); phase 1: the SM's own tick. Together with the cycle they
+     * order shard records exactly as a shared collector would see
+     * them under serial ticking. */
+    Cycle tagCycle_ = 0;
+    unsigned tagPhase_ = 1;
+    /** @} */
 
     const LaunchContext *ctx_ = nullptr;
 

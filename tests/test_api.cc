@@ -195,8 +195,9 @@ TEST(Experiment, TickJobsIsSurfacedButNotSerialized)
     EXPECT_EQ(a.overrides, b.overrides);
     EXPECT_EQ(a.cycles, b.cycles);
 
-    // Per-group tick counters ride along and are identical.
-    EXPECT_GT(b.counters.at("engine.group.sm.ticks_run"), 0u);
+    // Per-group tick counters ride along and are identical. The
+    // default smGroupSize of 1 names one group per SM core.
+    EXPECT_GT(b.counters.at("engine.group.sm0.ticks_run"), 0u);
     EXPECT_EQ(a.counters.at("engine.group.part0.ticks_run"),
               b.counters.at("engine.group.part0.ticks_run"));
 
