@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Multi-tenant serving bench: the serve.mixed scenario swept over
+ * every launch-queue scheduling policy at a light and a saturating
+ * load, printing the tail-latency / throughput / fairness table
+ * and writing the `BENCH_serving.json` perf artifact CI uploads.
+ * Under identical saturating load the policies must actually
+ * differ — the bench exits nonzero unless at least two policies
+ * report distinct p99 latencies (and if any run fails
+ * verification).
+ *
+ * `--quick` shrinks the scenario (fewer launches, two policies,
+ * engine.tickJobs=4) for the TSan CI lane, which cares about the
+ * scheduler/SM interaction under worker-parallel ticking rather
+ * than the policy spread; the spread assertion is full-mode only.
+ */
+
+#include <chrono>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "api/experiment.hh"
+#include "common/log.hh"
+
+using namespace gpulat;
+
+namespace {
+
+struct Point
+{
+    std::string policy;
+    double load = 0.0;
+    ExperimentRecord rec;
+    double wallMs = 0.0;
+};
+
+double
+metric(const ExperimentRecord &rec, const std::string &key)
+{
+    const auto it = rec.metrics.find(key);
+    return it == rec.metrics.end() ? 0.0 : it->second;
+}
+
+Point
+runPoint(const std::string &policy, double load, unsigned launches,
+         bool quick)
+{
+    ExperimentSpec spec;
+    spec.workload = "serve.mixed";
+    spec.params = {"launches=" + std::to_string(launches),
+                   "load=" + std::to_string(load)};
+    spec.overrides = {"serving.policy=" + policy};
+    if (quick)
+        spec.overrides.push_back("engine.tickJobs=4");
+
+    const auto t0 = std::chrono::steady_clock::now();
+    Point p;
+    p.policy = policy;
+    p.load = load;
+    p.rec = runExperiment(spec);
+    p.wallMs = std::chrono::duration<double, std::milli>(
+                   std::chrono::steady_clock::now() - t0)
+                   .count();
+    return p;
+}
+
+void
+writeArtifact(const std::string &path,
+              const std::vector<Point> &points, bool spread_ok)
+{
+    std::ofstream os(path);
+    if (!os)
+        fatal("cannot write '", path, "'");
+    os << "{\n  \"schema\": \"gpulat.bench_serving.v1\",\n"
+       << "  \"bench\": \"serving\",\n"
+       << "  \"workload\": \"serve.mixed\",\n"
+       << "  \"p99_spread_across_policies\": "
+       << (spread_ok ? "true" : "false") << ",\n  \"points\": [\n";
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const Point &p = points[i];
+        os << "    {\"policy\": \"" << p.policy
+           << "\", \"load\": " << p.load << ", \"correct\": "
+           << (p.rec.correct ? "true" : "false")
+           << ", \"cycles\": " << p.rec.cycles << std::fixed
+           << std::setprecision(2) << ", \"p50_latency\": "
+           << metric(p.rec, "serving.p50_latency")
+           << ", \"p99_latency\": "
+           << metric(p.rec, "serving.p99_latency")
+           << ", \"p999_latency\": "
+           << metric(p.rec, "serving.p999_latency")
+           << ", \"throughput_lpmc\": "
+           << metric(p.rec, "serving.throughput_lpmc")
+           << ", \"fairness_jain\": " << std::setprecision(4)
+           << metric(p.rec, "serving.fairness_jain")
+           << ", \"mean_queue_cycles\": " << std::setprecision(2)
+           << metric(p.rec, "serving.mean_queue_cycles")
+           << ", \"mean_exec_cycles\": "
+           << metric(p.rec, "serving.mean_exec_cycles")
+           << ", \"wall_ms\": " << p.wallMs << "}"
+           << (i + 1 < points.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n}\n";
+    std::cout << "wrote " << path << "\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string artifact;
+    bool quick = false;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--serving-json") {
+            if (i + 1 >= argc)
+                fatal("'--serving-json' needs a file path");
+            artifact = argv[++i];
+        } else if (arg == "--quick") {
+            quick = true;
+        } else {
+            fatal("unknown option '", arg,
+                  "' (expected --serving-json FILE or --quick)");
+        }
+    }
+
+    const std::vector<std::string> policies =
+        quick ? std::vector<std::string>{"fifo", "sjf-est"}
+              : std::vector<std::string>{"fifo", "rr", "sjf-est",
+                                         "fair-share"};
+    const std::vector<double> loads =
+        quick ? std::vector<double>{8.0} : std::vector<double>{1.0,
+                                                               12.0};
+    const unsigned launches = quick ? 4 : 10;
+
+    std::cout << "Multi-tenant serving: serve.mixed, "
+              << policies.size() << " policies x " << loads.size()
+              << " loads, " << launches << " launches/tenant\n\n"
+              << std::left << std::setw(12) << "policy"
+              << std::right << std::setw(6) << "load"
+              << std::setw(9) << "p50" << std::setw(9) << "p99"
+              << std::setw(9) << "p999" << std::setw(10) << "tput"
+              << std::setw(8) << "jain" << std::setw(9) << "queue"
+              << std::setw(9) << "exec" << std::setw(9) << "ok"
+              << "\n";
+
+    std::vector<Point> points;
+    bool all_correct = true;
+    for (const double load : loads) {
+        for (const std::string &policy : policies) {
+            Point p = runPoint(policy, load, launches, quick);
+            all_correct &= p.rec.correct;
+            std::cout << std::left << std::setw(12) << p.policy
+                      << std::right << std::fixed
+                      << std::setprecision(0) << std::setw(6)
+                      << p.load << std::setw(9)
+                      << metric(p.rec, "serving.p50_latency")
+                      << std::setw(9)
+                      << metric(p.rec, "serving.p99_latency")
+                      << std::setw(9)
+                      << metric(p.rec, "serving.p999_latency")
+                      << std::setprecision(1) << std::setw(10)
+                      << metric(p.rec, "serving.throughput_lpmc")
+                      << std::setprecision(3) << std::setw(8)
+                      << metric(p.rec, "serving.fairness_jain")
+                      << std::setprecision(0) << std::setw(9)
+                      << metric(p.rec, "serving.mean_queue_cycles")
+                      << std::setw(9)
+                      << metric(p.rec, "serving.mean_exec_cycles")
+                      << std::setw(9)
+                      << (p.rec.correct ? "yes" : "NO") << "\n";
+            points.push_back(std::move(p));
+        }
+        std::cout << "\n";
+    }
+
+    // Under the saturating load the policies must actually change
+    // the tail: at least two distinct p99 values.
+    bool spread_ok = true;
+    if (!quick) {
+        const double heavy = loads.back();
+        std::set<double> p99s;
+        for (const Point &p : points)
+            if (p.load == heavy)
+                p99s.insert(metric(p.rec, "serving.p99_latency"));
+        spread_ok = p99s.size() >= 2;
+        if (!spread_ok)
+            std::cout << "FAIL: all policies report the same p99 "
+                         "under saturating load\n";
+    }
+
+    if (!artifact.empty())
+        writeArtifact(artifact, points, spread_ok);
+    return all_correct && spread_ok ? 0 : 1;
+}

@@ -36,7 +36,8 @@ usage(std::ostream &err)
            "\n"
            "run/sweep options:\n"
            "  --gpu NAME         config preset (default gf100-sim)\n"
-           "  --workload NAME    registered workload\n"
+           "  --workload NAME    registered workload (or the first\n"
+           "                     bare argument: `gpulat run vecadd`)\n"
            "  key=value          workload parameter (positional)\n"
            "  --set path=value   config override (repeatable)\n"
            "  --scale S          shrink workload defaults, (0,1]\n"
@@ -80,7 +81,9 @@ listWorkloads(std::ostream &out)
     const WorkloadRegistry &reg = WorkloadRegistry::instance();
     for (const std::string &name : reg.names()) {
         const WorkloadEntry *entry = reg.find(name);
-        out << "  " << name << " — " << entry->description << "\n";
+        out << "  " << name
+            << (entry->benchSuite ? " [bench-suite]" : " [on-demand]")
+            << " — " << entry->description << "\n";
         for (const WorkloadParamSpec &p : entry->params) {
             out << "      " << p.name << " (default "
                 << p.defaultValue << "): " << p.help << "\n";
@@ -191,6 +194,11 @@ parseRunArgs(const std::vector<std::string> &args, CliOptions &opts,
             return false;
         } else if (arg.find('=') != std::string::npos) {
             opts.spec.params.push_back(arg);
+        } else if (opts.spec.workload.empty()) {
+            // First bare token names the workload, so
+            // `gpulat run serve.mixed load=2` works without
+            // --workload.
+            opts.spec.workload = arg;
         } else {
             err << "expected key=value or an option, got '" << arg
                 << "'\n";
@@ -205,7 +213,8 @@ runOrSweep(const CliOptions &opts, bool allow_sweep,
            std::ostream &out, std::ostream &err)
 {
     if (opts.spec.workload.empty()) {
-        err << "run/sweep needs --workload (see `gpulat list`)\n";
+        err << "run/sweep needs a workload (--workload NAME or the "
+               "first bare argument; see `gpulat list`)\n";
         return 2;
     }
 

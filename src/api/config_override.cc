@@ -109,6 +109,17 @@ parseValue(const std::string &path, const std::string &text, T &dst)
         if (text == "lru") dst = ReplPolicy::LRU;
         else if (text == "fifo") dst = ReplPolicy::FIFO;
         else fatal(path, ": '", text, "' is not lru|fifo");
+    } else if constexpr (std::is_same_v<T, ServePolicy>) {
+        if (text == "fifo") dst = ServePolicy::Fifo;
+        else if (text == "rr") dst = ServePolicy::Rr;
+        else if (text == "sjf-est") dst = ServePolicy::SjfEst;
+        else if (text == "fair-share") dst = ServePolicy::FairShare;
+        else fatal(path, ": '", text,
+                   "' is not fifo|rr|sjf-est|fair-share");
+    } else if constexpr (std::is_same_v<T, ServePartition>) {
+        if (text == "static") dst = ServePartition::Static;
+        else if (text == "dynamic") dst = ServePartition::Dynamic;
+        else fatal(path, ": '", text, "' is not static|dynamic");
     } else {
         static_assert(std::is_unsigned_v<T>,
                       "unsupported override type");
@@ -144,6 +155,15 @@ formatValue(const T &v)
                                               : "writeback";
     } else if constexpr (std::is_same_v<T, ReplPolicy>) {
         return v == ReplPolicy::LRU ? "lru" : "fifo";
+    } else if constexpr (std::is_same_v<T, ServePolicy>) {
+        switch (v) {
+          case ServePolicy::Fifo: return "fifo";
+          case ServePolicy::Rr: return "rr";
+          case ServePolicy::SjfEst: return "sjf-est";
+          default: return "fair-share";
+        }
+    } else if constexpr (std::is_same_v<T, ServePartition>) {
+        return v == ServePartition::Static ? "static" : "dynamic";
     } else {
         return std::to_string(v);
     }
@@ -190,6 +210,11 @@ buildKeys()
         GPULAT_CFG_KEY(icntOutQueue, "uint"),
         GPULAT_CFG_KEY(deviceMemBytes, "bytes"),
         GPULAT_CFG_KEY(localBytesPerThread, "bytes"),
+        GPULAT_CFG_KEY(seed, "uint"),
+        GPULAT_CFG_KEY(serving.policy, "fifo|rr|sjf-est|fair-share"),
+        GPULAT_CFG_KEY(serving.partition, "static|dynamic"),
+        GPULAT_CFG_KEY(serving.maxConcurrent, "launches"),
+        GPULAT_CFG_KEY(serving.smsPerLaunch, "SMs (0 = auto)"),
 
         GPULAT_CFG_KEY(sm.warpSlots, "uint"),
         GPULAT_CFG_KEY(sm.numSchedulers, "uint"),

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.hh"
+#include "serving/serving.hh"
 #include "workloads/bfs.hh"
 #include "workloads/pchase.hh"
 #include "workloads/compute_stream.hh"
@@ -163,6 +164,19 @@ makePChase(const ParamMap &p)
         p.getU64("timedAccesses", opts.timedAccesses);
     opts.warmup = p.getBool("warmup", opts.warmup);
     return std::make_unique<PChase>(opts);
+}
+
+std::unique_ptr<Workload>
+makeServe(ServingWorkload::Profile profile, const ParamMap &p)
+{
+    ServingWorkload::Options opts;
+    opts.profile = profile;
+    opts.tenants = p.getUnsigned("tenants", opts.tenants);
+    opts.launches = p.getUnsigned("launches", opts.launches);
+    opts.load = p.getDouble("load", opts.load);
+    opts.buffers = p.getUnsigned("buffers", opts.buffers);
+    opts.thinkCycles = p.getDouble("think", opts.thinkCycles);
+    return std::make_unique<ServingWorkload>(opts);
 }
 
 std::unique_ptr<Workload>
@@ -360,6 +374,60 @@ buildRegistry()
         },
         /*benchSuite=*/false,
     });
+
+    // Multi-tenant serving scenarios (src/serving). On-demand, not
+    // bench-suite: they exercise the serving layer, not a kernel
+    // pattern. Arrival streams and input data derive from the
+    // `seed` config override, not a workload parameter.
+    const std::vector<WorkloadParamSpec> serve_params = {
+        {"tenants", "3", "number of tenants"},
+        {"launches", "12", "launches per tenant"},
+        {"load", "1.0", "arrival-rate multiplier (scales gaps "
+                        "down)"},
+        {"buffers", "3", "rotating output buffers per tenant"},
+    };
+    auto serve_scale = [](ParamMap &m, double scale) {
+        m.set("launches", scale >= 0.99 ? "12" : "3");
+    };
+    reg.add({
+        "serve.mixed",
+        "multi-tenant serving; small/medium/heavy tenants, "
+        "Poisson arrivals",
+        serve_params,
+        [](const ParamMap &p) {
+            return makeServe(ServingWorkload::Profile::Mixed, p);
+        },
+        serve_scale,
+        /*benchSuite=*/false,
+    });
+    reg.add({
+        "serve.uniform",
+        "multi-tenant serving; homogeneous tenants, fixed-rate "
+        "arrivals",
+        serve_params,
+        [](const ParamMap &p) {
+            return makeServe(ServingWorkload::Profile::Uniform, p);
+        },
+        serve_scale,
+        /*benchSuite=*/false,
+    });
+    {
+        auto closed_params = serve_params;
+        closed_params.push_back(
+            {"think", "2000", "completion-to-next-arrival think "
+                              "time (cycles)"});
+        reg.add({
+            "serve.closed",
+            "multi-tenant serving; closed loop, one outstanding "
+            "launch per tenant",
+            closed_params,
+            [](const ParamMap &p) {
+                return makeServe(ServingWorkload::Profile::Closed, p);
+            },
+            serve_scale,
+            /*benchSuite=*/false,
+        });
+    }
 
     return reg;
 }

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Shared percentile estimation for latency reports and serving
+ * metrics.
+ *
+ * One convention, everywhere: nearest-rank on the sorted sample,
+ * `index = floor(p * (n - 1))` — exact for every n we keep samples
+ * for (the collectors retain full traces, so there is no need for a
+ * streaming P² approximation yet; if a future workload outgrows
+ * memory, swap the storage and keep this interface). The index
+ * formula is the one the latency summary has always used, so
+ * migrating callers onto this header changes no golden output.
+ */
+
+#ifndef GPULAT_COMMON_PERCENTILE_HH
+#define GPULAT_COMMON_PERCENTILE_HH
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+namespace gpulat {
+
+/**
+ * Percentile @p p in [0, 1] of an ascending-sorted sample.
+ * Returns T{} for an empty sample; the single element for n == 1;
+ * `sorted[floor(p * (n - 1))]` otherwise (p is clamped to [0, 1]).
+ */
+template <typename T>
+T
+percentileSorted(const std::vector<T> &sorted, double p)
+{
+    if (sorted.empty())
+        return T{};
+    if (p <= 0.0)
+        return sorted.front();
+    if (p >= 1.0)
+        return sorted.back();
+    const auto idx = static_cast<std::size_t>(
+        p * static_cast<double>(sorted.size() - 1));
+    return sorted[idx];
+}
+
+/** percentileSorted() over an unsorted sample (copies and sorts). */
+template <typename T>
+T
+percentile(std::vector<T> values, double p)
+{
+    std::sort(values.begin(), values.end());
+    return percentileSorted(values, p);
+}
+
+} // namespace gpulat
+
+#endif // GPULAT_COMMON_PERCENTILE_HH

@@ -237,6 +237,16 @@ TickEngine::addDomain(std::string name, ClockRatio ratio)
     return *domains_.back();
 }
 
+ClockDomain *
+TickEngine::findDomain(const std::string &name)
+{
+    for (const auto &domain : domains_) {
+        if (domain->name() == name)
+            return domain.get();
+    }
+    return nullptr;
+}
+
 unsigned
 TickEngine::addGroup(std::string name)
 {

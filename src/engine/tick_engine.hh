@@ -236,6 +236,15 @@ class TickEngine
         return domains_;
     }
 
+    /**
+     * Domain by name, for registering components after the initial
+     * wiring (the serving layer adds its LaunchQueueScheduler to an
+     * already-constructed Gpu's "core" domain); nullptr if unknown.
+     * add() stays legal at any time — the schedule is refinalized
+     * lazily on the next step().
+     */
+    ClockDomain *findDomain(const std::string &name);
+
   private:
     struct Registration
     {

@@ -82,7 +82,8 @@ Gpu::Gpu(GpuConfig config)
       reqEject_(reqNet_, partitions_),
       respInject_(partitions_, respNet_),
       respEject_(respNet_, sms_),
-      dispatcher_(sms_)
+      dispatcher_(sms_),
+      rng_(config_.seed)
 {
     PartitionParams part_params = config_.partition;
     part_params.interleaveDivisor = config_.numPartitions;
@@ -263,6 +264,8 @@ Gpu::activitySignature() const
     // per-SM request pools sum to the old shared counter's value,
     // so the signature is numerically unchanged by the sharding.
     std::uint64_t sig = dispatcher_.nextBlock();
+    for (const LaunchId id : partActive_)
+        sig += partLaunches_[id]->nextBlock;
     for (const auto &sm : sms_)
         sig += sm->requestsIssued();
     for (unsigned s = 0; s < config_.numSms; ++s) {
@@ -327,6 +330,13 @@ Gpu::stallReport(const std::string &kernel_name)
     }
     if (!smParallelNote_.empty())
         oss << "  sm-parallel: " << smParallelNote_ << "\n";
+    for (const LaunchId id : partActive_) {
+        const PartLaunch &pl = *partLaunches_[id];
+        oss << "  launch " << id << " ('" << pl.ctx.kernel->name
+            << "'): " << pl.nextBlock << "/" << pl.ctx.numBlocks
+            << " blocks on " << pl.smIds.size() << " SMs"
+            << (pl.serialized ? " [serialized]" : "") << "\n";
+    }
     oss << "  icnt: req=" << reqNet_.inFlight()
         << " resp=" << respNet_.inFlight() << " in flight\n";
     for (unsigned s = 0; s < config_.numSms; ++s) {
@@ -341,17 +351,17 @@ Gpu::stallReport(const std::string &kernel_name)
     return oss.str();
 }
 
-LaunchResult
-Gpu::launch(const Kernel &kernel, unsigned num_blocks,
-            unsigned threads_per_block,
-            const std::vector<RegValue> &params)
+void
+Gpu::validateLaunchShape(const Kernel &kernel, unsigned num_blocks,
+                         unsigned threads_per_block,
+                         std::size_t num_params) const
 {
     if (num_blocks == 0 || threads_per_block == 0)
         fatal("launch of '", kernel.name, "' with empty grid/block");
     if (threads_per_block > config_.sm.warpSlots * kWarpSize)
         fatal("block of ", threads_per_block,
               " threads exceeds SM capacity");
-    if (params.size() > kMaxParams)
+    if (num_params > kMaxParams)
         fatal("too many kernel parameters");
     if (kernel.sharedBytes > config_.sm.smemPerSm)
         fatal("kernel shared memory ", kernel.sharedBytes,
@@ -371,6 +381,17 @@ Gpu::launch(const Kernel &kernel, unsigned num_blocks,
     if (max_reg >= kernel.numRegs)
         fatal("kernel '", kernel.name, "' declares ", kernel.numRegs,
               " registers but uses r", max_reg);
+}
+
+LaunchResult
+Gpu::launch(const Kernel &kernel, unsigned num_blocks,
+            unsigned threads_per_block,
+            const std::vector<RegValue> &params)
+{
+    validateLaunchShape(kernel, num_blocks, threads_per_block,
+                        params.size());
+    GPULAT_ASSERT(partActive_.empty(),
+                  "launch() while partitioned launches active");
 
     ctx_ = LaunchContext{};
     ctx_.kernel = &kernel;
@@ -480,6 +501,161 @@ Gpu::launch(const Kernel &kernel, unsigned num_blocks,
             "sm" + std::to_string(s) + ".issued");
     result.instructions = instr_after - instr_before;
     return result;
+}
+
+Gpu::LaunchId
+Gpu::beginPartitionedLaunch(const Kernel &kernel, unsigned num_blocks,
+                            unsigned threads_per_block,
+                            const std::vector<RegValue> &params,
+                            std::vector<unsigned> sm_ids)
+{
+    validateLaunchShape(kernel, num_blocks, threads_per_block,
+                        params.size());
+    if (sm_ids.empty())
+        fatal("partitioned launch of '", kernel.name,
+              "' with no SMs");
+    for (std::size_t i = 0; i < sm_ids.size(); ++i) {
+        const unsigned s = sm_ids[i];
+        if (s >= config_.numSms)
+            fatal("partitioned launch of '", kernel.name,
+                  "' names SM ", s, " of ", config_.numSms);
+        for (std::size_t j = i + 1; j < sm_ids.size(); ++j)
+            if (sm_ids[j] == s)
+                fatal("partitioned launch of '", kernel.name,
+                      "' names SM ", s, " twice");
+        for (const LaunchId other : partActive_)
+            for (const unsigned t : partLaunches_[other]->smIds)
+                if (t == s)
+                    fatal("SM ", s, " already owned by active "
+                          "launch ", other);
+        GPULAT_ASSERT(!sms_[s]->busy() && sms_[s]->drained(),
+                      "partitioned launch on a busy SM");
+    }
+    // Concurrent grids would have to share the single local-memory
+    // backing store; no serving kernel needs local space.
+    for (const auto &inst : kernel.code)
+        if (inst.isMemory() && inst.space == MemSpace::Local)
+            fatal("kernel '", kernel.name, "' uses local memory; "
+                  "unsupported for concurrent launches");
+
+    auto pl = std::make_unique<PartLaunch>();
+    pl->ctx.kernel = &kernel;
+    pl->ctx.numBlocks = num_blocks;
+    pl->ctx.threadsPerBlock = threads_per_block;
+    for (std::size_t i = 0; i < params.size(); ++i)
+        pl->ctx.params[i] = params[i];
+    pl->ctx.totalThreads =
+        static_cast<std::uint64_t>(num_blocks) * threads_per_block;
+    pl->ctx.localBytesPerThread = config_.localBytesPerThread;
+    pl->smIds = std::move(sm_ids);
+    pl->active = true;
+
+    // Per-launch safety, composed across the resident set: this
+    // launch serializes when its own kernel is unsafe *or* its
+    // footprint may race with any active launch's. Only this
+    // launch's SMs are pinned — the coordinator joins every
+    // parallel section before ticking a serialized component
+    // inline, so one conservative tenant never races with (or slows
+    // the verdict of) its SM-parallel neighbours. The pin is
+    // conservative across the launch's whole lifetime: it is not
+    // re-evaluated when a conflicting neighbour retires first.
+    if (config_.engine.smGroupSize != 0) {
+        pl->verdict = analyzeSmParallelSafety(
+            kernel, num_blocks, threads_per_block, pl->ctx.params);
+        bool serial = !pl->verdict.safe;
+        for (const LaunchId other : partActive_)
+            if (launchesMayConflict(pl->verdict,
+                                    partLaunches_[other]->verdict))
+                serial = true;
+        pl->serialized = serial;
+        for (const unsigned s : pl->smIds)
+            engine_.setSerialized(*sms_[s], serial);
+        smParallelNote_ = "launch '" + kernel.name + "' " +
+                          (serial ? "serialized (" : "parallel (") +
+                          pl->verdict.reason + ")";
+    }
+
+    for (const unsigned s : pl->smIds)
+        sms_[s]->startLaunch(&pl->ctx);
+    // Binding contexts happened outside the engine: cached promises
+    // cannot have seen it.
+    engine_.wakeAll();
+
+    const auto id = static_cast<LaunchId>(partLaunches_.size());
+    partLaunches_.push_back(std::move(pl));
+    partActive_.push_back(id);
+    return id;
+}
+
+bool
+Gpu::partitionedLaunchDone(LaunchId id) const
+{
+    const PartLaunch &pl = *partLaunches_[id];
+    GPULAT_ASSERT(pl.active, "done query on a retired launch");
+    if (pl.nextBlock < pl.ctx.numBlocks)
+        return false;
+    for (const unsigned s : pl.smIds)
+        if (sms_[s]->busy() || !sms_[s]->drained())
+            return false;
+    return true;
+}
+
+void
+Gpu::retirePartitionedLaunch(LaunchId id)
+{
+    GPULAT_ASSERT(partitionedLaunchDone(id),
+                  "retiring an unfinished launch");
+    PartLaunch &pl = *partLaunches_[id];
+    pl.active = false;
+    if (config_.engine.smGroupSize != 0)
+        for (const unsigned s : pl.smIds)
+            engine_.setSerialized(*sms_[s], false);
+    partActive_.erase(
+        std::find(partActive_.begin(), partActive_.end(), id));
+}
+
+void
+Gpu::tickPartitionedDispatch(Cycle now)
+{
+    for (const LaunchId id : partActive_) {
+        PartLaunch &pl = *partLaunches_[id];
+        if (pl.nextBlock >= pl.ctx.numBlocks)
+            continue;
+        // Up to one block per owned SM per cycle, like the
+        // single-launch BlockDispatcher. The rotation offset is
+        // `now % n` rather than a tick-counted rotor so skipped
+        // scheduler cycles (which can never dispatch — no SM had
+        // room) do not shift later dispatch decisions between
+        // fast-forward modes.
+        const std::size_t n = pl.smIds.size();
+        const auto start = static_cast<std::size_t>(now % n);
+        for (std::size_t k = 0;
+             k < n && pl.nextBlock < pl.ctx.numBlocks; ++k) {
+            SmCore &sm = *sms_[pl.smIds[(start + k) % n]];
+            if (sm.canAcceptBlock())
+                sm.dispatchBlock(pl.nextBlock++);
+        }
+    }
+}
+
+bool
+Gpu::partitionedDispatchReady() const
+{
+    for (const LaunchId id : partActive_) {
+        const PartLaunch &pl = *partLaunches_[id];
+        if (pl.nextBlock >= pl.ctx.numBlocks)
+            continue;
+        for (const unsigned s : pl.smIds)
+            if (sms_[s]->canAcceptBlock())
+                return true;
+    }
+    return false;
+}
+
+bool
+Gpu::partitionedSerialized(LaunchId id) const
+{
+    return partLaunches_[id]->serialized;
 }
 
 } // namespace gpulat

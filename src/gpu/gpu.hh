@@ -27,8 +27,10 @@
 #include <string>
 #include <vector>
 
+#include "common/random.hh"
 #include "engine/tick_engine.hh"
 #include "gpu/gpu_config.hh"
+#include "gpu/kernel_analysis.hh"
 #include "gpu/ports.hh"
 #include "icnt/crossbar.hh"
 #include "isa/kernel.hh"
@@ -72,12 +74,83 @@ class Gpu
                         unsigned threads_per_block,
                         const std::vector<RegValue> &params);
 
+    /**
+     * @name Concurrent (partitioned) kernel launches
+     *
+     * The serving layer's path: several kernels resident at once,
+     * each restricted to its own set of SMs, driven by an external
+     * run loop (the caller steps the engine; launch() keeps its
+     * one-kernel-at-a-time semantics untouched). A launch is begun,
+     * its blocks are dispatched from a Clocked tick via
+     * tickPartitionedDispatch(), completion is polled with
+     * partitionedLaunchDone(), and retirePartitionedLaunch() frees
+     * the SMs for the next admission. The per-launch safety verdict
+     * (kernel_analysis.hh) is composed against every other active
+     * launch's footprint, and setSerialized() pins only *this*
+     * launch's SMs when it is unsafe or the footprints may overlap
+     * — an unsafe tenant never costs its neighbours their SM
+     * parallelism. Kernels and param vectors must outlive the
+     * launch; local-memory kernels are rejected (the single backing
+     * store cannot be shared between concurrent grids).
+     * @{
+     */
+    using LaunchId = std::uint32_t;
+
+    /** Begin a launch on @p sm_ids (must be idle and unowned). */
+    LaunchId beginPartitionedLaunch(const Kernel &kernel,
+                                    unsigned num_blocks,
+                                    unsigned threads_per_block,
+                                    const std::vector<RegValue> &params,
+                                    std::vector<unsigned> sm_ids);
+
+    /** All blocks dispatched and every owned SM idle and drained? */
+    bool partitionedLaunchDone(LaunchId id) const;
+
+    /** Release a done launch's SMs (and its serialization pin). */
+    void retirePartitionedLaunch(LaunchId id);
+
+    /**
+     * Dispatch up to one block per owned SM per active launch for
+     * this cycle. Called from the scheduler component's tick; the
+     * per-launch rotation offset derives from @p now, not a
+     * tick-counted rotor, so dispatch decisions are identical in
+     * every idle-fast-forward mode.
+     */
+    void tickPartitionedDispatch(Cycle now);
+
+    /** Any active launch with undispatched blocks and SM room? */
+    bool partitionedDispatchReady() const;
+
+    bool anyPartitionedActive() const { return !partActive_.empty(); }
+
+    /** This launch's composed setSerialized() decision (tests). */
+    bool partitionedSerialized(LaunchId id) const;
+    /** @} */
+
     /** @name Instrumentation @{ */
     StatRegistry &stats() { return stats_; }
     LatencyCollector &latencies() { return latCollector_; }
     ExposureCollector &exposure() { return expCollector_; }
     /** Engine introspection (fast-forward effectiveness, domains). */
     const TickEngine &engine() const { return engine_; }
+    /** Mutable engine access for post-construction wiring: the
+     *  serving layer registers its scheduler as a Clocked component
+     *  and links wake edges to the SMs. */
+    TickEngine &engine() { return engine_; }
+    /** Per-device RNG, seeded from GpuConfig::seed (the `seed`
+     *  override key): workload input data, arrival streams. */
+    Rng &rng() { return rng_; }
+    /** @} */
+
+    /** @name External-run-loop support (serving sessions) @{ */
+    /** Every SM, network and partition empty and idle. */
+    bool allDrained() const;
+    /** Watchdog progress signature: changes whenever any packet
+     *  moves or any instruction issues anywhere on the device. */
+    std::uint64_t activitySignature() const;
+    /** Per-layer diagnostics for a watchdog panic; settles the
+     *  engine first so idle/occupancy cycle totals are current. */
+    std::string stallReport(const std::string &kernel_name);
     /** @} */
 
     Cycle now() const { return engine_.now(); }
@@ -96,11 +169,23 @@ class Gpu
     void invalidateCaches();
 
   private:
-    bool allDrained() const;
-    std::uint64_t activitySignature() const;
-    /** Per-layer diagnostics for a watchdog panic; settles the
-     *  engine first so idle/occupancy cycle totals are current. */
-    std::string stallReport(const std::string &kernel_name);
+    /** Shape/resource checks shared by both launch paths. */
+    void validateLaunchShape(const Kernel &kernel,
+                             unsigned num_blocks,
+                             unsigned threads_per_block,
+                             std::size_t num_params) const;
+
+    /** One concurrent launch: address-stable context (SMs keep a
+     *  raw pointer), owned SMs, dispatch cursor, safety verdict. */
+    struct PartLaunch
+    {
+        LaunchContext ctx;
+        std::vector<unsigned> smIds;
+        unsigned nextBlock = 0;
+        bool active = false;
+        bool serialized = false;
+        SmParallelVerdict verdict;
+    };
 
     GpuConfig config_;
     StatRegistry stats_;
@@ -130,6 +215,14 @@ class Gpu
     std::string smParallelNote_;
 
     LaunchContext ctx_;
+
+    /** All partitioned launches ever begun (ids are indices; never
+     *  reused, so contexts stay address-stable) and the ids of the
+     *  currently active ones in admission order. */
+    std::vector<std::unique_ptr<PartLaunch>> partLaunches_;
+    std::vector<LaunchId> partActive_;
+
+    Rng rng_;
 
     /** Local-memory backing store, reused across launches with the
      *  same shape so successive kernels see the same local data. */

@@ -23,6 +23,24 @@
 
 namespace gpulat {
 
+/** Launch-queue admission policy of the serving layer
+ *  (src/serving/). Dotted override key `serving.policy`. */
+enum class ServePolicy : std::uint8_t
+{
+    Fifo,      ///< strict arrival order, head-of-line blocking
+    Rr,        ///< round-robin over tenants (work-conserving)
+    SjfEst,    ///< smallest estimated cost first
+    FairShare, ///< least attained weighted service first
+};
+
+/** How the serving layer carves SMs for concurrent launches.
+ *  Dotted override key `serving.partition`. */
+enum class ServePartition : std::uint8_t
+{
+    Static,  ///< MPS-style fixed per-tenant SM shares
+    Dynamic, ///< best-effort: grab free SMs at admission
+};
+
 struct GpuConfig
 {
     std::string name = "gpu";
@@ -120,6 +138,33 @@ struct GpuConfig
 
     std::uint64_t deviceMemBytes = 256ull * 1024 * 1024;
     std::uint64_t localBytesPerThread = 1024;
+
+    /**
+     * Base seed for everything an experiment randomizes
+     * deterministically on this device: the per-Gpu Rng
+     * (Gpu::rng(), workload input data) and the serving layer's
+     * per-tenant arrival streams. Dotted override key `seed`, so
+     * cells are reproducible and sweepable over seeds.
+     */
+    std::uint64_t seed = 1;
+
+    /**
+     * Multi-tenant serving knobs (src/serving/): how the
+     * LaunchQueueScheduler admits concurrent kernel launches. Only
+     * read by the `serve.*` workloads; single-launch experiments
+     * ignore them.
+     */
+    struct ServingParams
+    {
+        ServePolicy policy = ServePolicy::Fifo;
+        ServePartition partition = ServePartition::Dynamic;
+        /** Admission slots: max concurrently resident launches. */
+        unsigned maxConcurrent = 4;
+        /** Dynamic mode: SMs granted per launch
+         *  (0 = numSms / maxConcurrent, clamped to >= 1). */
+        unsigned smsPerLaunch = 0;
+    };
+    ServingParams serving;
 
     /** Line address -> memory partition. */
     unsigned

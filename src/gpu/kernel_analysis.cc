@@ -152,6 +152,10 @@ unsafe(std::string reason)
     return SmParallelVerdict{false, std::move(reason)};
 }
 
+/** Cap on tracked footprint ranges: more falls back to unknown
+ *  (conflict checks are pairwise over two launches' lists). */
+constexpr std::size_t kMaxFootprintRanges = 16;
+
 } // namespace
 
 SmParallelVerdict
@@ -159,8 +163,19 @@ analyzeSmParallelSafety(const Kernel &kernel, unsigned num_blocks,
                         unsigned threads_per_block,
                         const std::array<RegValue, kMaxParams> &params)
 {
-    if (num_blocks <= 1)
-        return SmParallelVerdict{true, "single block occupies one SM"};
+    // A single-block launch occupies one SM, so it is always safe
+    // *within itself*; the analysis still runs so the footprint is
+    // available for cross-launch composition. Constructs the affine
+    // domain cannot model keep the conservative default footprint
+    // (unknown, assume stores) on both the safe single-block verdict
+    // and the unsafe multi-block one.
+    const bool single_block = num_blocks <= 1;
+    const auto fail = [&](std::string reason) {
+        if (single_block)
+            return SmParallelVerdict{
+                true, "single block occupies one SM"};
+        return unsafe(std::move(reason));
+    };
 
     // Pass 1: control flow. Loops would require a fixpoint; any
     // memory access at/after a reconvergence point may read
@@ -169,11 +184,11 @@ analyzeSmParallelSafety(const Kernel &kernel, unsigned num_blocks,
     for (std::uint32_t pc = 0; pc < kernel.code.size(); ++pc) {
         const Instruction &inst = kernel.code[pc];
         if (inst.isAtomic())
-            return unsafe("atomic at pc " + std::to_string(pc));
+            return fail("atomic at pc " + std::to_string(pc));
         if (inst.isBranch()) {
             if (inst.target <= pc)
-                return unsafe("backward branch at pc " +
-                              std::to_string(pc));
+                return fail("backward branch at pc " +
+                            std::to_string(pc));
             first_join = std::min(first_join, inst.target);
         }
     }
@@ -190,14 +205,14 @@ analyzeSmParallelSafety(const Kernel &kernel, unsigned num_blocks,
 
         if (inst.isMemory() && inst.space == MemSpace::Global) {
             if (pc >= first_join)
-                return unsafe("global access after reconvergence "
-                              "at pc " + std::to_string(pc));
+                return fail("global access after reconvergence "
+                            "at pc " + std::to_string(pc));
             const AbsVal addr =
                 add(regs[inst.srcA], constant(inst.imm));
             if (inst.isStore()) {
                 if (!addr.known)
-                    return unsafe("non-affine store address at pc " +
-                                  std::to_string(pc));
+                    return fail("non-affine store address at pc " +
+                                std::to_string(pc));
                 have_store = true;
                 accesses.push_back({addr, true, pc});
             } else {
@@ -278,8 +293,36 @@ analyzeSmParallelSafety(const Kernel &kernel, unsigned num_blocks,
         }
     }
 
+    // The whole-grid footprint for cross-launch composition: known
+    // only when every global access has an affine address (a
+    // non-affine load is fine for *intra*-launch safety of a
+    // store-free kernel, but its reach across another launch's
+    // stores cannot be bounded).
+    const auto fillFootprint = [&](SmParallelVerdict v) {
+        v.hasStore = have_store;
+        v.footprintKnown = accesses.size() <= kMaxFootprintRanges;
+        for (const GlobalAccess &a : accesses) {
+            if (!a.addr.known) {
+                v.footprintKnown = false;
+                break;
+            }
+        }
+        if (v.footprintKnown) {
+            for (const GlobalAccess &a : accesses) {
+                const ByteRange r = footprint(a.addr, num_blocks,
+                                              threads_per_block);
+                v.footprint.push_back({r.lo, r.hi, a.isStore});
+            }
+        }
+        return v;
+    };
+
+    if (single_block)
+        return fillFootprint(
+            SmParallelVerdict{true, "single block occupies one SM"});
     if (!have_store)
-        return SmParallelVerdict{true, "store-free global footprint"};
+        return fillFootprint(
+            SmParallelVerdict{true, "store-free global footprint"});
 
     for (std::size_t i = 0; i < accesses.size(); ++i) {
         for (std::size_t j = i; j < accesses.size(); ++j) {
@@ -299,8 +342,28 @@ analyzeSmParallelSafety(const Kernel &kernel, unsigned num_blocks,
                     std::to_string(accesses[j].pc));
         }
     }
-    return SmParallelVerdict{true, "affine cross-block-disjoint "
-                                   "global footprint"};
+    return fillFootprint(
+        SmParallelVerdict{true, "affine cross-block-disjoint "
+                                "global footprint"});
+}
+
+bool
+launchesMayConflict(const SmParallelVerdict &a,
+                    const SmParallelVerdict &b)
+{
+    if (!a.hasStore && !b.hasStore)
+        return false;
+    if (!a.footprintKnown || !b.footprintKnown)
+        return true;
+    for (const FootprintRange &ra : a.footprint) {
+        for (const FootprintRange &rb : b.footprint) {
+            if (!ra.store && !rb.store)
+                continue;
+            if (ra.lo < rb.hi && rb.lo < ra.hi)
+                return true;
+        }
+    }
+    return false;
 }
 
 } // namespace gpulat

@@ -24,12 +24,22 @@
 #define GPULAT_GPU_KERNEL_ANALYSIS_HH
 
 #include <array>
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "isa/isa.hh"
 #include "isa/kernel.hh"
 
 namespace gpulat {
+
+/** Whole-grid byte range one global access can touch. */
+struct FootprintRange
+{
+    std::int64_t lo = 0; ///< inclusive
+    std::int64_t hi = 0; ///< exclusive
+    bool store = false;
+};
 
 /** Outcome of the launch-time SM-parallel safety analysis. */
 struct SmParallelVerdict
@@ -38,7 +48,33 @@ struct SmParallelVerdict
     bool safe = false;
     /** Human-readable justification (stall reports / tests). */
     std::string reason;
+
+    /**
+     * @name Whole-grid global footprint (cross-launch composition)
+     *
+     * When `footprintKnown`, @p footprint holds a superset byte
+     * range for every global access the launch can perform, across
+     * its whole grid. The serving layer composes verdicts of
+     * concurrently resident launches with launchesMayConflict():
+     * launches whose stores provably miss each other's accesses may
+     * tick SM-parallel side by side. Defaults are the conservative
+     * direction (unknown footprint, assume stores), which is what
+     * every early-unsafe path leaves in place.
+     * @{
+     */
+    bool footprintKnown = false;
+    bool hasStore = true;
+    std::vector<FootprintRange> footprint;
+    /** @} */
 };
+
+/**
+ * Can two concurrently resident launches race on device memory?
+ * True unless both are store-free, or both footprints are known and
+ * neither's stores overlap any access of the other. Symmetric.
+ */
+bool launchesMayConflict(const SmParallelVerdict &a,
+                         const SmParallelVerdict &b);
 
 /**
  * Decide whether a launch can tick its SMs concurrently.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/percentile.hh"
 #include "common/table.hh"
 
 namespace gpulat {
@@ -28,14 +29,9 @@ computeSummary(const std::vector<LatencyTrace> &traces)
         for (const Cycle v : values)
             sum += static_cast<double>(v);
         out.mean = sum / static_cast<double>(values.size());
-        auto pct = [&](double p) {
-            const auto idx = static_cast<std::size_t>(
-                p * static_cast<double>(values.size() - 1));
-            return values[idx];
-        };
-        out.p50 = pct(0.50);
-        out.p90 = pct(0.90);
-        out.p99 = pct(0.99);
+        out.p50 = percentileSorted(values, 0.50);
+        out.p90 = percentileSorted(values, 0.90);
+        out.p99 = percentileSorted(values, 0.99);
     }
     return summary;
 }

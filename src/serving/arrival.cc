@@ -1,0 +1,106 @@
+#include "serving/arrival.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hh"
+
+namespace gpulat {
+
+namespace {
+
+/** Round a gap to cycles, never shorter than one cycle. */
+Cycle
+gapCycles(double gap)
+{
+    return static_cast<Cycle>(std::max<long long>(1, std::llround(gap)));
+}
+
+} // namespace
+
+ArrivalStream::ArrivalStream(const TenantTraffic &traffic,
+                             std::uint64_t gpu_seed, unsigned tenant)
+    : traffic_(traffic)
+{
+    if (traffic_.meanGapCycles <= 0.0)
+        fatal("tenant ", tenant, ": meanGapCycles must be positive");
+    // Decorrelate tenants with a golden-ratio stride; SplitMix64
+    // seeding inside Rng scrambles the rest.
+    Rng rng(gpu_seed +
+            0x9e3779b97f4a7c15ull * (static_cast<std::uint64_t>(tenant) + 1));
+
+    switch (traffic_.kind) {
+    case ArrivalKind::Fixed: {
+        Cycle t = 0;
+        for (unsigned i = 0; i < traffic_.launches; ++i) {
+            t += gapCycles(traffic_.meanGapCycles);
+            schedule_.push_back(t);
+        }
+        break;
+    }
+    case ArrivalKind::Poisson: {
+        Cycle t = 0;
+        for (unsigned i = 0; i < traffic_.launches; ++i) {
+            // Inverse-CDF exponential gap; uniform() < 1 keeps the
+            // log argument positive.
+            const double u = rng.uniform();
+            t += gapCycles(-std::log(1.0 - u) *
+                           traffic_.meanGapCycles);
+            schedule_.push_back(t);
+        }
+        break;
+    }
+    case ArrivalKind::ClosedLoop:
+        // Stagger first arrivals so tenants do not all hit cycle 1.
+        if (traffic_.launches > 0)
+            pending_ = 1 + tenant;
+        break;
+    }
+}
+
+bool
+ArrivalStream::exhausted() const
+{
+    if (traffic_.kind == ArrivalKind::ClosedLoop)
+        return emitted_ >= traffic_.launches;
+    return nextIdx_ >= schedule_.size();
+}
+
+Cycle
+ArrivalStream::nextArrivalAt() const
+{
+    if (traffic_.kind == ArrivalKind::ClosedLoop)
+        return pending_;
+    return nextIdx_ < schedule_.size() ? schedule_[nextIdx_]
+                                       : kNoCycle;
+}
+
+Cycle
+ArrivalStream::pop()
+{
+    if (traffic_.kind == ArrivalKind::ClosedLoop) {
+        GPULAT_ASSERT(pending_ != kNoCycle,
+                      "pop() with no pending closed-loop arrival");
+        const Cycle at = pending_;
+        pending_ = kNoCycle;
+        ++emitted_;
+        return at;
+    }
+    GPULAT_ASSERT(nextIdx_ < schedule_.size(),
+                  "pop() past the end of an open-loop schedule");
+    return schedule_[nextIdx_++];
+}
+
+void
+ArrivalStream::onCompletion(Cycle now)
+{
+    if (traffic_.kind != ArrivalKind::ClosedLoop)
+        return;
+    if (emitted_ >= traffic_.launches)
+        return;
+    GPULAT_ASSERT(pending_ == kNoCycle,
+                  "closed-loop completion with an arrival pending");
+    pending_ = now + gapCycles(traffic_.thinkCycles);
+}
+
+} // namespace gpulat

@@ -1,0 +1,91 @@
+#include "serving/metrics.hh"
+
+#include <algorithm>
+
+#include "common/percentile.hh"
+
+namespace gpulat {
+
+namespace {
+
+double
+mean(const std::vector<double> &v)
+{
+    if (v.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const double x : v)
+        sum += x;
+    return sum / static_cast<double>(v.size());
+}
+
+} // namespace
+
+std::map<std::string, double>
+ServingMetrics::finalize(Cycle start, Cycle end,
+                         const std::vector<double> &weights) const
+{
+    std::map<std::string, double> m;
+    const double elapsed =
+        end > start ? static_cast<double>(end - start) : 1.0;
+
+    std::vector<double> e2e;
+    std::vector<double> queueing;
+    std::vector<double> exec;
+    e2e.reserve(records_.size());
+    for (const auto &r : records_) {
+        e2e.push_back(static_cast<double>(r.done - r.arrival));
+        queueing.push_back(static_cast<double>(r.admit - r.arrival));
+        exec.push_back(static_cast<double>(r.done - r.admit));
+    }
+
+    m["serving.launches"] = static_cast<double>(records_.size());
+    std::sort(e2e.begin(), e2e.end());
+    m["serving.p50_latency"] = percentileSorted(e2e, 0.50);
+    m["serving.p99_latency"] = percentileSorted(e2e, 0.99);
+    m["serving.p999_latency"] = percentileSorted(e2e, 0.999);
+    m["serving.mean_e2e_cycles"] = mean(e2e);
+    m["serving.mean_queue_cycles"] = mean(queueing);
+    m["serving.mean_exec_cycles"] = mean(exec);
+    m["serving.throughput_lpmc"] =
+        static_cast<double>(records_.size()) * 1e6 / elapsed;
+
+    // Per-tenant breakdown + Jain fairness over attained weighted
+    // service x_t = sum(exec * smCount) / weight_t.
+    const std::size_t num_tenants = weights.size();
+    std::vector<std::vector<double>> tenant_e2e(num_tenants);
+    std::vector<double> x(num_tenants, 0.0);
+    for (const auto &r : records_) {
+        if (r.tenant >= num_tenants)
+            continue;
+        tenant_e2e[r.tenant].push_back(
+            static_cast<double>(r.done - r.arrival));
+        const double w =
+            weights[r.tenant] > 0.0 ? weights[r.tenant] : 1.0;
+        x[r.tenant] += static_cast<double>(r.done - r.admit) *
+                       static_cast<double>(r.smCount) / w;
+    }
+    for (std::size_t t = 0; t < num_tenants; ++t) {
+        auto &lat = tenant_e2e[t];
+        std::sort(lat.begin(), lat.end());
+        const std::string p = "serving.t" + std::to_string(t) + ".";
+        m[p + "launches"] = static_cast<double>(lat.size());
+        m[p + "p99_latency"] = percentileSorted(lat, 0.99);
+        m[p + "mean_e2e"] = mean(lat);
+        m[p + "throughput_lpmc"] =
+            static_cast<double>(lat.size()) * 1e6 / elapsed;
+    }
+    double sum_x = 0.0;
+    double sum_x2 = 0.0;
+    for (const double v : x) {
+        sum_x += v;
+        sum_x2 += v * v;
+    }
+    m["serving.fairness_jain"] =
+        sum_x2 > 0.0 ? (sum_x * sum_x) /
+                           (static_cast<double>(num_tenants) * sum_x2)
+                     : 1.0;
+    return m;
+}
+
+} // namespace gpulat

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Serving metrics: per-launch latency records collected by the
+ * LaunchQueueScheduler and collapsed into the schema-stable metric
+ * map merged into every ExperimentRecord — tail latency
+ * percentiles, queueing-vs-execution breakdown, overall and
+ * per-tenant throughput, and the Jain fairness index over attained
+ * weighted service. Per-launch invariant: queue + execution equals
+ * end-to-end latency exactly ((admit-arrival) + (done-admit) ==
+ * (done-arrival)); a golden test asserts it on every record.
+ */
+
+#ifndef GPULAT_SERVING_METRICS_HH
+#define GPULAT_SERVING_METRICS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace gpulat {
+
+/** One completed launch, as the scheduler saw it. */
+struct LaunchRecord
+{
+    unsigned tenant = 0;
+    std::uint64_t seq = 0;  ///< global arrival sequence number
+    Cycle arrival = 0;      ///< entered the launch queue
+    Cycle admit = 0;        ///< admitted onto SMs
+    Cycle done = 0;         ///< retired (all blocks drained)
+    unsigned smCount = 0;   ///< SMs the launch ran on
+};
+
+class ServingMetrics
+{
+  public:
+    void record(const LaunchRecord &r) { records_.push_back(r); }
+
+    const std::vector<LaunchRecord> &records() const
+    {
+        return records_;
+    }
+
+    /**
+     * Collapse into the metric map (keys prefixed `serving.`).
+     * @p weights per tenant (fairness is over attained SM-cycles
+     * divided by weight); its size fixes the per-tenant key count,
+     * so sweep columns are stable even for an idle tenant.
+     * Latencies are end-to-end (done - arrival) core cycles;
+     * throughput is launches per million core cycles over
+     * [@p start, @p end].
+     */
+    std::map<std::string, double>
+    finalize(Cycle start, Cycle end,
+             const std::vector<double> &weights) const;
+
+  private:
+    std::vector<LaunchRecord> records_;
+};
+
+} // namespace gpulat
+
+#endif // GPULAT_SERVING_METRICS_HH

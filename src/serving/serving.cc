@@ -1,0 +1,273 @@
+#include "serving/serving.hh"
+
+#include <bit>
+#include <cmath>
+
+#include "common/log.hh"
+#include "isa/kernel.hh"
+
+namespace gpulat {
+
+namespace {
+
+/** FMA coefficient shared by every serving kernel. */
+constexpr double kCoef = 0.5;
+
+/**
+ * Compute-stream-style kernel: y[i] = fma-chain(x[i]). Affine
+ * addressing end to end, so analyzeSmParallelSafety() proves it
+ * SM-parallel and derives a whole-grid footprint for cross-launch
+ * conflict composition.
+ */
+Kernel
+buildServeKernel(const std::string &name, unsigned fma_depth)
+{
+    KernelBuilder b(name);
+    b.s2r(0, SpecialReg::Tid);
+    b.s2r(1, SpecialReg::Ctaid);
+    b.s2r(2, SpecialReg::Ntid);
+    b.imad(0, 1, 2, 0);          // gid
+    b.movParam(3, 3);            // n
+    b.setp(CmpOp::GE, 0, 0, 3);
+    b.pred(0).bra("done");
+    b.aluImm(Opcode::SHL, 4, 0, 3);
+    b.movParam(5, 0);            // x
+    b.alu(Opcode::IADD, 5, 5, 4);
+    b.ld(MemSpace::Global, 6, 5);
+    b.movParam(7, 2);            // coefficient (double bits)
+    for (unsigned i = 0; i < fma_depth; ++i)
+        b.ffma(6, 6, 7, 7);      // v = v * c + c (dependent chain)
+    b.movParam(8, 1);            // y
+    b.alu(Opcode::IADD, 8, 8, 4);
+    b.st(MemSpace::Global, 8, 6);
+    b.label("done");
+    b.exit();
+    return b.finalize();
+}
+
+double
+expectedValue(double x, unsigned fma_depth)
+{
+    double v = x;
+    for (unsigned k = 0; k < fma_depth; ++k)
+        v = v * kCoef + kCoef;
+    return v;
+}
+
+} // namespace
+
+ServingSession::ServingSession(Gpu &gpu,
+                               std::vector<TenantSpec> specs)
+    : gpu_(gpu), specs_(std::move(specs))
+{
+    GPULAT_ASSERT(!specs_.empty(), "serving session with no tenants");
+
+    std::vector<TenantPlan> plans;
+    std::vector<ArrivalStream> streams;
+    for (unsigned t = 0; t < specs_.size(); ++t) {
+        const TenantSpec &spec = specs_[t];
+        GPULAT_ASSERT(spec.n > 0 && spec.buffers > 0 &&
+                          spec.threadsPerBlock > 0,
+                      "malformed tenant spec");
+        kernels_.push_back(std::make_unique<Kernel>(buildServeKernel(
+            "serve_t" + std::to_string(t), spec.fmaDepth)));
+
+        const std::uint64_t bytes = spec.n * 8;
+        deviceX_.push_back(gpu_.alloc(bytes));
+        std::vector<double> x(spec.n);
+        for (auto &v : x)
+            v = gpu_.rng().uniform();
+        gpu_.copyToDevice(deviceX_.back(), x.data(), bytes);
+        hostX_.push_back(std::move(x));
+
+        deviceY_.emplace_back();
+        for (unsigned j = 0; j < spec.buffers; ++j)
+            deviceY_.back().push_back(gpu_.alloc(bytes));
+
+        const unsigned tpb = spec.threadsPerBlock;
+        const auto blocks = static_cast<unsigned>(
+            (spec.n + tpb - 1) / tpb);
+        TenantPlan plan;
+        plan.weight = spec.weight;
+        for (unsigned j = 0; j < spec.buffers; ++j) {
+            LaunchShape shape;
+            shape.kernel = kernels_.back().get();
+            shape.numBlocks = blocks;
+            shape.threadsPerBlock = tpb;
+            shape.params = {deviceX_.back(), deviceY_.back()[j],
+                            std::bit_cast<RegValue>(kCoef), spec.n};
+            // Work estimate for sjf-est: threads x chain length
+            // (+ fixed per-thread overhead).
+            shape.estCost = static_cast<double>(blocks) * tpb *
+                            (spec.fmaDepth + 8.0);
+            plan.shapes.push_back(std::move(shape));
+        }
+        plans.push_back(std::move(plan));
+        streams.emplace_back(spec.traffic, gpu_.config().seed, t);
+    }
+
+    sched_ = std::make_unique<LaunchQueueScheduler>(
+        gpu_, std::move(plans), std::move(streams), metrics_);
+
+    // Register on the core clock in the coordinator group (the
+    // scheduler mutates cross-SM state, exactly like the block
+    // dispatcher), with wake edges both ways: its tick dispatches
+    // blocks into SMs, and an SM's tick can complete a launch the
+    // scheduler must reap.
+    ClockDomain *core = gpu_.engine().findDomain("core");
+    GPULAT_ASSERT(core, "gpu engine has no core domain");
+    gpu_.engine().add(*core, *sched_);
+    for (unsigned s = 0; s < gpu_.config().numSms; ++s) {
+        gpu_.engine().link(*sched_, gpu_.sm(s));
+        gpu_.engine().link(gpu_.sm(s), *sched_);
+    }
+}
+
+WorkloadResult
+ServingSession::run()
+{
+    TickEngine &engine = gpu_.engine();
+    const Cycle start = engine.now();
+    const auto issued = [&] {
+        std::uint64_t sum = 0;
+        for (unsigned s = 0; s < gpu_.config().numSms; ++s)
+            sum += gpu_.stats().counterValue(
+                "sm" + std::to_string(s) + ".issued");
+        return sum;
+    };
+    const std::uint64_t instr_before = issued();
+
+    // Same watchdog shape as Gpu::launch(): progress is measured in
+    // performed engine steps, and the signature folds in scheduler
+    // progress so a long but healthy queue drain never trips it.
+    const std::uint64_t stall_steps =
+        gpu_.config().engine.watchdogStallSteps;
+    const auto signature = [&] {
+        return gpu_.activitySignature() +
+               0x9e3779b97f4a7c15ull * sched_->progressSignature();
+    };
+    std::uint64_t last_sig = signature();
+    std::uint64_t last_progress_step = engine.steps();
+    std::uint64_t iters = 0;
+
+    while (!sched_->finished() || !gpu_.allDrained()) {
+        engine.step();
+        engine.fastForward();
+        if ((++iters & 0x3fffu) == 0) {
+            const std::uint64_t sig = signature();
+            if (sig != last_sig) {
+                last_sig = sig;
+                last_progress_step = engine.steps();
+            } else if (stall_steps != 0 &&
+                       engine.steps() - last_progress_step >
+                           stall_steps) {
+                panic(gpu_.stallReport("serving"));
+            }
+        }
+    }
+    engine.settle();
+
+    WorkloadResult result;
+    result.cycles = engine.now() - start;
+    result.instructions = issued() - instr_before;
+    result.launches =
+        static_cast<unsigned>(sched_->completed());
+    std::vector<double> weights;
+    for (const auto &spec : specs_)
+        weights.push_back(spec.weight);
+    result.metrics = metrics_.finalize(start, engine.now(), weights);
+    result.correct = verify();
+    return result;
+}
+
+bool
+ServingSession::verify() const
+{
+    for (unsigned t = 0; t < specs_.size(); ++t) {
+        const TenantSpec &spec = specs_[t];
+        // Shape j serves arrivals j, j+buffers, ...; with every
+        // arrival served by run()'s drain condition, buffer j was
+        // written iff j < min(buffers, launches). Writes are
+        // idempotent (same input, same chain), so repeated or
+        // serialized-vs-parallel service leaves identical bytes.
+        const unsigned used = std::min(
+            spec.buffers, spec.traffic.launches);
+        std::vector<double> y(spec.n);
+        for (unsigned j = 0; j < used; ++j) {
+            gpu_.copyFromDevice(y.data(), deviceY_[t][j], spec.n * 8);
+            for (std::uint64_t i = 0; i < spec.n; ++i)
+                if (y[i] != expectedValue(hostX_[t][i], spec.fmaDepth))
+                    return false;
+        }
+    }
+    return true;
+}
+
+std::string
+ServingWorkload::name() const
+{
+    switch (opts_.profile) {
+    case Profile::Mixed: return "serve.mixed";
+    case Profile::Uniform: return "serve.uniform";
+    case Profile::Closed: return "serve.closed";
+    }
+    return "serve";
+}
+
+WorkloadResult
+ServingWorkload::run(Gpu &gpu)
+{
+    if (opts_.tenants == 0 || opts_.launches == 0)
+        fatal(name(), ": tenants and launches must be positive");
+    if (opts_.load <= 0.0)
+        fatal(name(), ": load must be positive");
+
+    std::vector<ServingSession::TenantSpec> specs;
+    for (unsigned t = 0; t < opts_.tenants; ++t) {
+        ServingSession::TenantSpec spec;
+        spec.buffers = opts_.buffers;
+        spec.traffic.launches = opts_.launches;
+        switch (opts_.profile) {
+        case Profile::Mixed:
+            // Three launch classes cycled over the tenants; higher
+            // load shrinks the inter-arrival gaps.
+            switch (t % 3) {
+            case 0: // small
+                spec.n = 1024;
+                spec.fmaDepth = 8;
+                spec.threadsPerBlock = 128;
+                spec.traffic.meanGapCycles = 2500.0 / opts_.load;
+                break;
+            case 1: // medium
+                spec.n = 4096;
+                spec.fmaDepth = 16;
+                spec.threadsPerBlock = 128;
+                spec.traffic.meanGapCycles = 6000.0 / opts_.load;
+                break;
+            default: // heavy, double fair-share weight
+                spec.n = 8192;
+                spec.fmaDepth = 24;
+                spec.threadsPerBlock = 256;
+                spec.weight = 2.0;
+                spec.traffic.meanGapCycles = 14000.0 / opts_.load;
+                break;
+            }
+            spec.traffic.kind = ArrivalKind::Poisson;
+            break;
+        case Profile::Uniform:
+            spec.traffic.kind = ArrivalKind::Fixed;
+            spec.traffic.meanGapCycles = 5000.0 / opts_.load;
+            break;
+        case Profile::Closed:
+            spec.traffic.kind = ArrivalKind::ClosedLoop;
+            spec.traffic.thinkCycles = opts_.thinkCycles;
+            break;
+        }
+        specs.push_back(spec);
+    }
+
+    ServingSession session(gpu, std::move(specs));
+    return session.run();
+}
+
+} // namespace gpulat

@@ -87,7 +87,12 @@ SmCore::startLaunch(const LaunchContext *ctx)
 {
     GPULAT_ASSERT(residentWarps_ == 0, "launch while SM busy");
     ctx_ = ctx;
-    issuedLastTick_ = true;
+    // Binding a context is a delivery that leaves no queue entry
+    // behind: raise the woke flag so the promise reads "active
+    // now" until the next tick observes it. (Not issuedLastTick_:
+    // that would poison the lazy idle-window flush when a serving
+    // scheduler starts a launch mid-run on a sleeping SM.)
+    wokeSinceTick_ = true;
 }
 
 bool

@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/percentile.hh"
 #include "common/queue.hh"
 #include "common/random.hh"
 #include "common/stats.hh"
@@ -203,6 +204,45 @@ TEST(StackedBarChart, RendersLegendAndBars)
     chart.print(oss);
     EXPECT_NE(oss.str().find("alpha"), std::string::npos);
     EXPECT_NE(oss.str().find("0-10"), std::string::npos);
+}
+
+TEST(Percentile, EmptySampleReturnsValueInitialized)
+{
+    EXPECT_EQ(percentileSorted(std::vector<int>{}, 0.5), 0);
+    EXPECT_EQ(percentileSorted(std::vector<double>{}, 0.99), 0.0);
+}
+
+TEST(Percentile, SingleElementIsEveryPercentile)
+{
+    const std::vector<int> one = {42};
+    EXPECT_EQ(percentileSorted(one, 0.0), 42);
+    EXPECT_EQ(percentileSorted(one, 0.5), 42);
+    EXPECT_EQ(percentileSorted(one, 0.99), 42);
+    EXPECT_EQ(percentileSorted(one, 1.0), 42);
+}
+
+TEST(Percentile, UsesTheLatencySummaryIndexConvention)
+{
+    // index = floor(p * (n - 1)) on the sorted sample — the exact
+    // formula the latency summary has always used.
+    const std::vector<int> v = {10, 20, 30, 40, 50};
+    EXPECT_EQ(percentileSorted(v, 0.5), 30);  // floor(0.5 * 4) = 2
+    EXPECT_EQ(percentileSorted(v, 0.99), 40); // floor(0.99 * 4) = 3
+    EXPECT_EQ(percentileSorted(v, 0.25), 20); // floor(0.25 * 4) = 1
+    EXPECT_EQ(percentileSorted(v, 1.0), 50);
+    // Out-of-range p clamps to the extremes.
+    EXPECT_EQ(percentileSorted(v, -0.5), 10);
+    EXPECT_EQ(percentileSorted(v, 2.0), 50);
+}
+
+TEST(Percentile, TiesAndUnsortedInput)
+{
+    const std::vector<int> ties = {7, 7, 7, 7};
+    EXPECT_EQ(percentileSorted(ties, 0.5), 7);
+    EXPECT_EQ(percentileSorted(ties, 0.99), 7);
+    // percentile() sorts a copy first.
+    EXPECT_EQ(percentile(std::vector<int>{50, 10, 40, 20, 30}, 0.5),
+              30);
 }
 
 TEST(Log, PanicAndFatalThrowDistinctTypes)
