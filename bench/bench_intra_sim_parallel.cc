@@ -1,13 +1,16 @@
 /**
  * @file
- * Intra-simulation parallel-ticking bench: two ladders over
- * `engine.tickJobs`, one memory-bound (partition groups dominate)
- * and one compute-bound (per-SM groups dominate). Each ladder
+ * Intra-simulation parallel-ticking bench: three ladders over
+ * `engine.tickJobs` — memory-bound (partition groups dominate),
+ * compute-bound (per-SM groups dominate) and a loop kernel (gemm,
+ * SM-parallel only because the loop-aware footprint analysis
+ * proves its tiled stores cross-block disjoint). Each ladder
  * verifies that cycles, traces and counters are byte-identical
  * across worker counts (rendering records through the JSON sink),
  * prints the wall-clock and serial-vs-parallel speedup per point,
- * and writes the `BENCH_intrasim.json` perf artifact CI uploads so
- * intra-sim scaling is visible PR-over-PR.
+ * and writes the `BENCH_intrasim.json` perf artifact
+ * (`gpulat.bench_intrasim.v3`: per-point safety verdicts ride
+ * along) CI uploads so intra-sim scaling is visible PR-over-PR.
  *
  * Ladder shapes:
  *  - memory-bound: few SMs, 8 partitions, deep FR-FCFS DRAM queues,
@@ -18,6 +21,10 @@
  *    dependent FFMA chains, 2 partitions — the per-SM tick groups
  *    carry nearly all the work, exercising the SM sharding and the
  *    work-stealing pool rather than the partition path.
+ *  - loop kernel: gemm's inner-product loop, 8 SMs / 2 partitions
+ *    — a backward branch used to force serialization outright;
+ *    its speedup exists exactly because the abstract interpreter
+ *    now proves the footprint block-disjoint.
  *
  * On a single-core host the parallel points report their honest
  * (≈1x or below) ratios — the speedup columns are measurements,
@@ -49,6 +56,8 @@ struct Point
     double wallMs = 0.0;
     Cycle cycles = 0;
     bool correct = false;
+    bool smParallel = false;  ///< launch safety verdict
+    std::string verdictReason;
     ExperimentRecord rec;
     std::string json; ///< full record render (determinism check)
     std::vector<std::pair<std::string, std::uint64_t>> groupTicks;
@@ -111,6 +120,30 @@ computeBoundSpec(std::size_t tick_jobs)
     return spec;
 }
 
+/**
+ * Loop-kernel cell: gemm's tiled inner loop used to defeat the
+ * straight-line safety checker and serialize every SM; the
+ * loop-aware footprint analysis now proves its stores cross-block
+ * disjoint, so this ladder measures the speedup that verdict
+ * unlocked (the per-point verdicts in the artifact are the
+ * regression gate for it).
+ */
+ExperimentSpec
+loopKernelSpec(std::size_t tick_jobs)
+{
+    ExperimentSpec spec;
+    spec.gpu = "gf106";
+    spec.workload = "gemm";
+    spec.params = {"n=128"};
+    spec.overrides = {
+        "numSms=8",
+        "numPartitions=2",
+        "sm.warpSlots=48",
+        "engine.tickJobs=" + std::to_string(tick_jobs),
+    };
+    return spec;
+}
+
 Point
 runPoint(const ExperimentSpec &spec, std::size_t tick_jobs)
 {
@@ -133,6 +166,8 @@ runPoint(const ExperimentSpec &spec, std::size_t tick_jobs)
     point.tickJobsResolved = rec.tickJobs;
     point.cycles = rec.cycles;
     point.correct = rec.correct;
+    point.smParallel = rec.metric("analysis.sm_parallel") != 0.0;
+    point.verdictReason = rec.analysisReason;
 
     std::ostringstream os;
     JsonSink sink(os);
@@ -189,6 +224,10 @@ runLadder(std::string key, std::string title, std::string desc,
     std::cout << (ladder.identical
                       ? "records byte-identical across tickJobs: OK\n"
                       : "records DIFFER across tickJobs: BUG\n");
+    const Point &head = ladder.points.front();
+    std::cout << "verdict: "
+              << (head.smParallel ? "sm-parallel" : "serialized")
+              << " — " << head.verdictReason << "\n";
     return ladder;
 }
 
@@ -202,7 +241,7 @@ writeArtifact(const std::string &path,
     bool all_identical = true;
     for (const Ladder &ladder : ladders)
         all_identical &= ladder.identical;
-    os << "{\n  \"schema\": \"gpulat.bench_intrasim.v2\",\n"
+    os << "{\n  \"schema\": \"gpulat.bench_intrasim.v3\",\n"
        << "  \"bench\": \"intra_sim_parallel\",\n"
        << "  \"hardware_concurrency\": "
        << TickEngine::resolveTickJobs(0)
@@ -224,6 +263,10 @@ writeArtifact(const std::string &path,
                << std::setprecision(2) << p.wallMs
                << ", \"cycles\": " << p.cycles << ", \"correct\": "
                << (p.correct ? "true" : "false")
+               << ", \"sm_parallel\": "
+               << (p.smParallel ? "true" : "false")
+               << ", \"verdict_reason\": "
+               << jsonQuote(p.verdictReason)
                << ", \"groups\": [";
             for (std::size_t g = 0; g < p.groupTicks.size(); ++g) {
                 os << (g ? ", " : "") << "{\"name\": "
@@ -291,6 +334,12 @@ main(int argc, char **argv)
         "compute_stream n=32768 fmaDepth=192 (gf106, 8 SMs / "
         "2 partitions, 48 warps/SM)",
         computeBoundSpec, ladder));
+    ladders.push_back(runLadder(
+        "loop_kernel",
+        "loop kernel: gemm, 8 SMs / 2 partitions",
+        "gemm n=128 (gf106, 8 SMs / 2 partitions, 48 warps/SM; "
+        "SM-parallel via the loop-aware footprint analysis)",
+        loopKernelSpec, ladder));
 
     bool ok = true;
     for (const Ladder &l : ladders) {

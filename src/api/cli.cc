@@ -33,6 +33,11 @@ usage(std::ostream &err)
            "  run    run one experiment\n"
            "  sweep  run a sweep (comma-separated values expand to\n"
            "         the cartesian product)\n"
+           "  analyze  run the SM-parallel footprint analysis for a\n"
+           "           workload (or a --set sweep of it) and print\n"
+           "           each launch verdict, reason chain and\n"
+           "           per-access footprints; exits nonzero when any\n"
+           "           analysis diverges or any cell crashes\n"
            "\n"
            "run/sweep options:\n"
            "  --gpu NAME         config preset (default gf100-sim)\n"
@@ -70,8 +75,44 @@ usage(std::ostream &err)
            "  gpulat run --workload vecadd n=4096 "
            "--set sm.warpSlots=16 --json out.json\n"
            "  gpulat sweep --workload bfs "
-           "--set sm.warpSlots=1,2,4,8,16,32,48\n";
+           "--set sm.warpSlots=1,2,4,8,16,32,48\n"
+           "  gpulat analyze reduction n=65536\n"
+           "  gpulat analyze gemm --set sm.warpSlots=8,16\n";
     return 2;
+}
+
+/**
+ * The verdict tag shown by `gpulat list`: the analysis outcome of
+ * the workload's registry defaults shrunk to a quick probe scale.
+ * The verdict is a pure function of (kernel, grid, params), so the
+ * probe must actually run the workload to obtain its launches —
+ * kept cheap with a small scale (the same mechanism the quick-CI
+ * suites use). Workloads whose verdict is shape-dependent report
+ * the probe shape's verdict; `gpulat analyze` gives the full story
+ * at any size.
+ */
+const char *
+workloadVerdictTag(const std::string &name)
+{
+    try {
+        ExperimentSpec spec;
+        spec.workload = name;
+        spec.scale = 0.05;
+        // The probe only needs the grid to exist; a small device
+        // memory keeps 15 back-to-back Gpu constructions out of
+        // the listing's critical path (buffer *addresses* shift,
+        // footprint disjointness does not).
+        spec.overrides = {"deviceMemBytes=" +
+                          std::to_string(64 * 1024 * 1024)};
+        SmParallelVerdict verdict;
+        runExperiment(spec,
+                      [&](Gpu &gpu, const ExperimentRecord &) {
+                          verdict = gpu.lastVerdict();
+                      });
+        return verdict.safe ? " [sm-parallel]" : " [serialized]";
+    } catch (const FatalError &) {
+        return " [analysis-failed]";
+    }
 }
 
 void
@@ -83,6 +124,7 @@ listWorkloads(std::ostream &out)
         const WorkloadEntry *entry = reg.find(name);
         out << "  " << name
             << (entry->benchSuite ? " [bench-suite]" : " [on-demand]")
+            << workloadVerdictTag(name)
             << " — " << entry->description << "\n";
         for (const WorkloadParamSpec &p : entry->params) {
             out << "      " << p.name << " (default "
@@ -328,6 +370,136 @@ runOrSweep(const CliOptions &opts, bool allow_sweep,
     return allCorrect ? 0 : 1;
 }
 
+// ------------------------------------------------------------- analyze
+
+/** Footprint bound with the +-inf sentinels spelt out. */
+std::string
+boundText(std::int64_t v)
+{
+    if (v == kNegInf)
+        return "-inf";
+    if (v == kPosInf)
+        return "+inf";
+    return std::to_string(v);
+}
+
+/**
+ * One launch verdict, in full: headline, derivation chain, every
+ * global access site with its affine form and block/grid byte
+ * intervals, and the composable whole-grid footprint.
+ */
+void
+printVerdict(std::ostream &out, const SmParallelVerdict &v)
+{
+    out << "verdict: "
+        << (v.safe ? "sm-parallel" : "serialized") << " — "
+        << v.reason << "\n";
+    for (const std::string &step : v.reasonChain)
+        out << "  | " << step << "\n";
+    if (!v.accesses.empty()) {
+        out << "global accesses:\n";
+        for (const AccessFootprint &a : v.accesses) {
+            out << "  pc " << a.pc << "  "
+                << (a.atomic ? "atom" : a.store ? "st  " : "ld  ");
+            if (a.affine) {
+                out << "  " << a.form << "  block0=["
+                    << boundText(a.blockLo) << ", "
+                    << boundText(a.blockHi) << ")  grid=["
+                    << boundText(a.gridLo) << ", "
+                    << boundText(a.gridHi) << ")";
+            } else {
+                out << "  (non-affine)";
+            }
+            out << "\n";
+        }
+    }
+    if (v.footprintKnown) {
+        out << "grid footprint (" << v.footprint.size()
+            << " range(s), " << (v.hasStore ? "has stores" : "loads only")
+            << (v.atomicsForwarded
+                    ? ", atomics partition-forwarded"
+                    : "")
+            << "):\n";
+        for (const FootprintRange &r : v.footprint) {
+            out << "  [" << boundText(r.lo) << ", "
+                << boundText(r.hi) << ") "
+                << (r.atomic ? "atom" : r.store ? "store" : "load")
+                << "\n";
+        }
+    } else {
+        out << "grid footprint: unknown\n";
+    }
+}
+
+/**
+ * `gpulat analyze`: run each expanded cell (the verdict is a pure
+ * function of the kernel and launch shape, but obtaining those
+ * requires executing the workload — e.g. bfs launches until its
+ * frontier drains) and print the last launch's verdict per cell.
+ * Exit 2 when a cell crashes, 1 when any analysis failed to
+ * converge (its verdict is "unknown" rather than a sound
+ * serialized/parallel call), else 0.
+ */
+int
+runAnalyze(const CliOptions &opts, std::ostream &out,
+           std::ostream &err)
+{
+    if (opts.spec.workload.empty()) {
+        err << "analyze needs a workload (--workload NAME or the "
+               "first bare argument; see `gpulat list`)\n";
+        return 2;
+    }
+
+    const auto runs = expandSweep(opts.spec);
+    std::vector<SmParallelVerdict> verdicts(runs.size());
+    std::vector<unsigned> launchCounts(runs.size(), 0);
+    auto inspect = [&](std::size_t index, Gpu &gpu,
+                       const ExperimentRecord &rec) {
+        verdicts[index] = gpu.lastVerdict();
+        launchCounts[index] = rec.launches;
+    };
+
+    bool anyFailed = false;
+    bool anyUnknown = false;
+    auto commit = [&](std::size_t index, const JobOutcome &outcome) {
+        const ExperimentSpec &spec = runs[index];
+        out << "=== " << spec.gpu << " x " << spec.workload;
+        for (const std::string &p : spec.params)
+            out << " " << p;
+        for (const std::string &o : spec.overrides) {
+            // engine.tickJobs is an execution knob, filtered from
+            // record overrides for the same reason: analyze output
+            // must be identical across --tick-jobs values.
+            if (o.rfind("engine.tickJobs=", 0) == 0)
+                continue;
+            out << " " << o;
+        }
+        out << " ===\n";
+        if (outcome.failed) {
+            out << "verdict: crash — " << outcome.error << "\n";
+            anyFailed = true;
+            return;
+        }
+        if (launchCounts[index] > 1) {
+            out << "(" << launchCounts[index]
+                << " launches; verdict of the last)\n";
+        }
+        printVerdict(out, verdicts[index]);
+        // The one verdict that is neither "safe" nor a sound
+        // serialization argument: the fixpoint gave up, so the
+        // footprint story is unknown (reason string is part of the
+        // stable verdict vocabulary, see kernel_analysis.cc).
+        if (verdicts[index].reason == "fixpoint did not converge")
+            anyUnknown = true;
+    };
+
+    ParallelRunner runner(resolveJobs(opts.jobs));
+    runner.run(runs, inspect, commit);
+    if (anyFailed)
+        return 2;
+    return anyUnknown ? 1 : 0;
+}
+
 } // namespace
 
 int
@@ -363,6 +535,12 @@ runCli(int argc, const char *const *argv, std::ostream &out,
             if (!parseRunArgs(args, opts, err))
                 return usage(err);
             return runOrSweep(opts, command == "sweep", out, err);
+        }
+        if (command == "analyze") {
+            CliOptions opts;
+            if (!parseRunArgs(args, opts, err))
+                return usage(err);
+            return runAnalyze(opts, out, err);
         }
         if (command == "--help" || command == "-h" ||
             command == "help") {

@@ -94,6 +94,13 @@ collectRecord(Gpu &gpu, const ExperimentSpec &spec,
               static_cast<double>(result.cycles)
         : 0.0;
 
+    // SM-parallel safety verdict (kernel_analysis.hh): computed for
+    // every launch in every engine mode, invariant across tick-jobs
+    // and SM groupings.
+    rec.metrics["analysis.sm_parallel"] =
+        gpu.lastVerdict().safe ? 1.0 : 0.0;
+    rec.analysisReason = gpu.lastVerdict().reason;
+
     const auto &traces = gpu.latencies().traces();
     rec.metrics["requests"] =
         static_cast<double>(gpu.latencies().count());

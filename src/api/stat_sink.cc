@@ -159,6 +159,8 @@ JsonSink::write(const ExperimentRecord &record)
     }
     os_ << "},\n      \"correct\": "
         << (record.correct ? "true" : "false")
+        << ",\n      \"analysis_reason\": "
+        << jsonQuote(record.analysisReason)
         << ",\n      \"cycles\": " << record.cycles
         << ",\n      \"instructions\": " << record.instructions
         << ",\n      \"launches\": " << record.launches
@@ -195,10 +197,13 @@ void
 CsvSink::write(const ExperimentRecord &record)
 {
     if (!wroteHeader_) {
+        // New columns append at the end: downstream consumers (and
+        // the API tests) index the earlier columns positionally.
         os_ << "gpu,workload,params,overrides,correct,cycles,"
                "instructions,launches,ipc,requests,"
                "mean_load_latency,exposed_pct,l1_hit_pct,"
-               "dram_row_hit_pct,mean_dram_queue_wait\n";
+               "dram_row_hit_pct,mean_dram_queue_wait,"
+               "analysis_sm_parallel,analysis_reason\n";
         wroteHeader_ = true;
     }
     // RFC-4180: free-text fields are quoted when they carry the
@@ -216,8 +221,9 @@ CsvSink::write(const ExperimentRecord &record)
         << metricCell(record, "exposed_pct", 2, "") << ','
         << metricCell(record, "l1_hit_pct", 2, "") << ','
         << metricCell(record, "dram_row_hit_pct", 2, "") << ','
-        << metricCell(record, "mean_dram_queue_wait", 2, "")
-        << '\n';
+        << metricCell(record, "mean_dram_queue_wait", 2, "") << ','
+        << metricCell(record, "analysis.sm_parallel", 0, "") << ','
+        << csvField(record.analysisReason) << '\n';
 }
 
 // ----------------------------------------------------------- MultiSink

@@ -54,6 +54,15 @@ struct ExperimentRecord
     std::map<std::string, std::uint64_t> counters;
 
     /**
+     * Human-readable justification of the SM-parallel safety
+     * verdict of the run's (last) launch; the boolean verdict
+     * itself is `metrics["analysis.sm_parallel"]`. Both are pure
+     * functions of (kernel, grid, params) — schedule- and
+     * tick-jobs-invariant — so they are safe to serialize.
+     */
+    std::string analysisReason;
+
+    /**
      * Resolved intra-simulation tick workers the run executed with
      * (TickEngine::tickJobs(), >= 1). Execution metadata for
      * programmatic consumers (benches comparing wall-clock per

@@ -92,7 +92,7 @@ Gpu::Gpu(GpuConfig config)
                             config_.dramClock);
     for (unsigned p = 0; p < config_.numPartitions; ++p) {
         partitions_.push_back(std::make_unique<MemPartition>(
-            p, part_params, &stats_));
+            p, part_params, &stats_, &dmem_));
     }
 
     // One collector shard per SM — shards must exist before the SM
@@ -421,23 +421,31 @@ Gpu::launch(const Kernel &kernel, unsigned num_blocks,
         ctx_.localBase = localBase_;
     }
 
+    // Atomics forward their functional RMW to the owning partition
+    // in every mode (not just when SM groups are on): the fused
+    // smGroupSize == 0 shape must produce byte-identical results to
+    // the grouped shapes, so the functional semantics cannot depend
+    // on the grouping.
+    ctx_.forwardAtomics = true;
+
     // Decide whether this launch may tick SMs concurrently. With
     // per-cluster SM groups the analysis gates concurrency; an
-    // unsafe kernel (loops, atomics, data-dependent stores) pins
-    // every SM to the coordinator for this launch. Group tick
-    // *counters* stay with the declared groups either way, so
-    // records are identical across tickJobs regardless of the
-    // verdict. The fused smGroupSize == 0 shape keeps SMs in
-    // registration order within their single group and needs no
-    // gating.
+    // unsafe kernel (data-dependent stores, potentially overlapping
+    // cross-block footprints) pins every SM to the coordinator for
+    // this launch. Group tick *counters* stay with the declared
+    // groups either way, so records are identical across tickJobs
+    // regardless of the verdict. The fused smGroupSize == 0 shape
+    // keeps SMs in registration order within their single group and
+    // needs no gating — but the verdict is still computed so every
+    // ExperimentRecord carries it.
+    verdict_ = analyzeSmParallelSafety(kernel, num_blocks,
+                                       threads_per_block, ctx_.params);
+    smParallelNote_ = std::string(verdict_.safe ? "parallel ("
+                                                : "serialized (") +
+                      verdict_.reason + ")";
     if (config_.engine.smGroupSize != 0) {
-        const SmParallelVerdict verdict = analyzeSmParallelSafety(
-            kernel, num_blocks, threads_per_block, ctx_.params);
-        smParallelNote_ = std::string(verdict.safe ? "parallel ("
-                                                   : "serialized (") +
-                          verdict.reason + ")";
         for (auto &sm : sms_)
-            engine_.setSerialized(*sm, !verdict.safe);
+            engine_.setSerialized(*sm, !verdict_.safe);
     }
 
     dispatcher_.beginGrid(num_blocks);
@@ -547,6 +555,7 @@ Gpu::beginPartitionedLaunch(const Kernel &kernel, unsigned num_blocks,
     pl->ctx.totalThreads =
         static_cast<std::uint64_t>(num_blocks) * threads_per_block;
     pl->ctx.localBytesPerThread = config_.localBytesPerThread;
+    pl->ctx.forwardAtomics = true;
     pl->smIds = std::move(sm_ids);
     pl->active = true;
 
@@ -559,9 +568,10 @@ Gpu::beginPartitionedLaunch(const Kernel &kernel, unsigned num_blocks,
     // the verdict of) its SM-parallel neighbours. The pin is
     // conservative across the launch's whole lifetime: it is not
     // re-evaluated when a conflicting neighbour retires first.
+    pl->verdict = analyzeSmParallelSafety(
+        kernel, num_blocks, threads_per_block, pl->ctx.params);
+    verdict_ = pl->verdict;
     if (config_.engine.smGroupSize != 0) {
-        pl->verdict = analyzeSmParallelSafety(
-            kernel, num_blocks, threads_per_block, pl->ctx.params);
         bool serial = !pl->verdict.safe;
         for (const LaunchId other : partActive_)
             if (launchesMayConflict(pl->verdict,

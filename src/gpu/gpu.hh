@@ -128,6 +128,9 @@ class Gpu
     /** @} */
 
     /** @name Instrumentation @{ */
+    /** SM-parallel safety verdict of the most recent launch (either
+     *  flavour); default-constructed before any launch. */
+    const SmParallelVerdict &lastVerdict() const { return verdict_; }
     StatRegistry &stats() { return stats_; }
     LatencyCollector &latencies() { return latCollector_; }
     ExposureCollector &exposure() { return expCollector_; }
@@ -213,6 +216,8 @@ class Gpu
     /** Verdict of the current launch's SM-parallel safety analysis
      *  (kernel_analysis.hh); shown in watchdog stall reports. */
     std::string smParallelNote_;
+    /** Full verdict of the most recent launch (record metrics). */
+    SmParallelVerdict verdict_;
 
     LaunchContext ctx_;
 

@@ -4,20 +4,39 @@
  *
  * SMs execute instructions *functionally at issue*, so two SMs in
  * different tick groups may race on device memory if their blocks'
- * global stores can touch the same lines a sibling block loads or
- * stores. This analysis proves, per launch, that they cannot: it
- * abstractly interprets the kernel over affine values
- * `tidCoeff*tid + ctaCoeff*ctaid + base` (parameters are concrete at
- * launch, so array bases fold into `base`) and checks that every
- * global store footprint is injective across blocks and disjoint
- * from — or block-private w.r.t. — every global load.
+ * global stores can touch the same bytes a sibling block loads or
+ * stores. This pass proves, per launch, that they cannot: it runs a
+ * worklist abstract interpretation over the kernel's CFG in a
+ * stride-interval affine domain — per register a sum of terms
+ * `coeff * ((tid|ctaid >> shift) & mask)` plus a stride-interval
+ * constant part — with widening at loop heads, so loops with affine
+ * induction variables (reduction trees, tiled gemm, grid-stride
+ * loops) analyze precisely instead of failing on the backward
+ * branch.
+ *
+ * Cross-block disjointness of two accesses is decided by (1) plain
+ * whole-grid range disjointness, or (2) a mixed-radix digit
+ * argument: if the access form's digits (byte offset, each term,
+ * the stride-interval part) nest — each coefficient at least the
+ * previous digit's span — then a byte address uniquely determines
+ * every digit, and if the ctaid bit-slices cover every bit ctaid
+ * can set, equal cta digits force equal blocks. Interval arithmetic
+ * is checked/saturating int64 (±inf sentinels); any overflow
+ * degrades to an unbounded interval, so huge grids can only lose
+ * precision, never "prove" disjointness by wrapping.
+ *
+ * Atomics pass the analysis unconditionally: their functional
+ * read-modify-write is forwarded to the owning partition's accept
+ * hook (they are already "serviced at the L2" in the timing model),
+ * which runs under the coordinator barrier, so their order — and
+ * therefore every verdict — is schedule-invariant.
  *
  * The verdict gates TickEngine::setSerialized() on the SM cores:
- * kernels that pass tick SM-parallel, kernels that don't (loops,
- * atomics, data-dependent addressing) fall back to coordinator
- * ticking for that launch. Either way results are byte-identical to
- * the serial schedule; the analysis only decides how much
- * parallelism is safe to use.
+ * kernels that pass tick SM-parallel, kernels that don't
+ * (data-dependent store addressing, provably overlapping footprints)
+ * fall back to coordinator ticking for that launch. Either way
+ * results are byte-identical to the serial schedule; the analysis
+ * only decides how much parallelism is safe to use.
  */
 
 #ifndef GPULAT_GPU_KERNEL_ANALYSIS_HH
@@ -33,12 +52,106 @@
 
 namespace gpulat {
 
+/** @name Checked/saturating int64 helpers
+ *
+ * INT64_MIN/INT64_MAX double as -inf/+inf sentinels. A sentinel
+ * operand propagates; a fresh overflow saturates to the sentinel of
+ * the overflow direction. Interval transfer functions additionally
+ * degrade the whole interval to unbounded on any fresh overflow
+ * (see StrideInterval), because a wrapped concrete value is *not*
+ * inside a one-sided-saturated interval.
+ * @{
+ */
+inline constexpr std::int64_t kNegInf = INT64_MIN;
+inline constexpr std::int64_t kPosInf = INT64_MAX;
+
+std::int64_t satAdd(std::int64_t a, std::int64_t b);
+std::int64_t satSub(std::int64_t a, std::int64_t b);
+std::int64_t satMul(std::int64_t a, std::int64_t b);
+/** @} */
+
+/**
+ * The numeric lattice of the analysis: the set
+ * `{lo + k*stride : k >= 0} ∩ [lo, hi]` (stride 0 means the
+ * singleton `lo == hi`). `lo > hi` encodes the empty set (an
+ * unreachable refinement). Bounds use the ±inf sentinels.
+ */
+struct StrideInterval
+{
+    std::int64_t lo = 0;
+    std::int64_t hi = 0;
+    std::uint64_t stride = 0;
+
+    static StrideInterval constant(std::int64_t v)
+    {
+        return StrideInterval{v, v, 0};
+    }
+    /** The unbounded interval (top of the lattice). */
+    static StrideInterval full()
+    {
+        return StrideInterval{kNegInf, kPosInf, 1};
+    }
+
+    bool empty() const { return lo > hi; }
+    bool singleton() const { return lo == hi; }
+    bool bounded() const { return lo != kNegInf && hi != kPosInf; }
+
+    /** Clamp `hi` onto the stride grid anchored at `lo`. */
+    StrideInterval normalized() const;
+
+    static StrideInterval add(const StrideInterval &a,
+                              const StrideInterval &b);
+    static StrideInterval sub(const StrideInterval &a,
+                              const StrideInterval &b);
+    static StrideInterval mulConst(const StrideInterval &a,
+                                   std::int64_t m);
+    /** Logical shift right by @p k (uint64 semantics). */
+    static StrideInterval shrConst(const StrideInterval &a,
+                                   unsigned k);
+    static StrideInterval andConst(const StrideInterval &a,
+                                   std::int64_t mask);
+    /** Least upper bound. */
+    static StrideInterval join(const StrideInterval &a,
+                               const StrideInterval &b);
+    /** Widening: escaping bounds jump straight to ±inf. */
+    static StrideInterval widen(const StrideInterval &prev,
+                                const StrideInterval &next);
+    /** Intersect with `value cmp rhs` (may come back empty). */
+    static StrideInterval meetCmp(const StrideInterval &a, CmpOp cmp,
+                                  std::int64_t rhs);
+
+    bool operator==(const StrideInterval &o) const
+    {
+        return lo == o.lo && hi == o.hi && stride == o.stride;
+    }
+};
+
 /** Whole-grid byte range one global access can touch. */
 struct FootprintRange
 {
-    std::int64_t lo = 0; ///< inclusive
-    std::int64_t hi = 0; ///< exclusive
+    std::int64_t lo = 0; ///< inclusive (kNegInf = unbounded)
+    std::int64_t hi = 0; ///< exclusive (kPosInf = unbounded)
     bool store = false;
+    /** Forwarded atomic: never a schedule hazard (see file header). */
+    bool atomic = false;
+};
+
+/** One global access site, for reports and `gpulat analyze`. */
+struct AccessFootprint
+{
+    std::uint32_t pc = 0;
+    bool store = false;
+    bool atomic = false;
+    /** Address was resolved by the affine domain. */
+    bool affine = false;
+    /** Printable affine form, e.g. "8*tid + 2048*(ctaid>>2) + c". */
+    std::string form;
+    /** Byte interval of block 0 (cta terms pinned to 0). */
+    std::int64_t blockLo = 0;
+    std::int64_t blockHi = 0;
+    /** Whole-grid byte interval. */
+    std::int64_t gridLo = 0;
+    std::int64_t gridHi = 0;
 };
 
 /** Outcome of the launch-time SM-parallel safety analysis. */
@@ -48,30 +161,46 @@ struct SmParallelVerdict
     bool safe = false;
     /** Human-readable justification (stall reports / tests). */
     std::string reason;
+    /** Step-by-step derivation (printed by `gpulat analyze`). */
+    std::vector<std::string> reasonChain;
 
     /**
      * @name Whole-grid global footprint (cross-launch composition)
      *
      * When `footprintKnown`, @p footprint holds a superset byte
-     * range for every global access the launch can perform, across
-     * its whole grid. The serving layer composes verdicts of
-     * concurrently resident launches with launchesMayConflict():
-     * launches whose stores provably miss each other's accesses may
-     * tick SM-parallel side by side. Defaults are the conservative
-     * direction (unknown footprint, assume stores), which is what
-     * every early-unsafe path leaves in place.
+     * range for every non-atomic global access the launch can
+     * perform, across its whole grid. The serving layer composes
+     * verdicts of concurrently resident launches with
+     * launchesMayConflict(): launches whose stores provably miss
+     * each other's accesses may tick SM-parallel side by side.
+     * Defaults are the conservative direction (unknown footprint,
+     * assume stores), which is what every early-unsafe path leaves
+     * in place. Forwarded atomics are excluded: their functional
+     * execution happens under the coordinator barrier in arrival
+     * order, which no tick schedule can perturb.
      * @{
      */
     bool footprintKnown = false;
     bool hasStore = true;
     std::vector<FootprintRange> footprint;
     /** @} */
+
+    /** Kernel contains atomics (forwarded to the partition tick). */
+    bool atomicsForwarded = false;
+
+    /** @name Analysis introspection (tests, `gpulat analyze`) @{ */
+    std::vector<AccessFootprint> accesses;
+    unsigned cfgBlocks = 0;
+    unsigned loopHeads = 0;
+    unsigned fixpointIterations = 0;
+    /** @} */
 };
 
 /**
  * Can two concurrently resident launches race on device memory?
  * True unless both are store-free, or both footprints are known and
- * neither's stores overlap any access of the other. Symmetric.
+ * neither's stores overlap any access of the other. Forwarded
+ * atomics never conflict. Symmetric.
  */
 bool launchesMayConflict(const SmParallelVerdict &a,
                          const SmParallelVerdict &b);
@@ -79,11 +208,12 @@ bool launchesMayConflict(const SmParallelVerdict &a,
 /**
  * Decide whether a launch can tick its SMs concurrently.
  *
- * Conservative: any construct the affine domain cannot model
- * (backward branches, atomics, data-dependent or post-reconvergence
- * addressing, non-affine store addresses, potentially overlapping
- * cross-block footprints) yields `safe == false`. Local and shared
- * accesses are always block/thread-private and never serialize.
+ * Conservative: any construct the domain cannot model
+ * (data-dependent store addresses, potentially overlapping
+ * cross-block footprints, a non-converging fixpoint) yields
+ * `safe == false`. Local and shared accesses are always
+ * block/thread-private and never serialize; atomics are exempt via
+ * partition forwarding.
  */
 SmParallelVerdict
 analyzeSmParallelSafety(const Kernel &kernel, unsigned numBlocks,

@@ -5,14 +5,16 @@
 
 #include "common/log.hh"
 #include "engine/clock_domain.hh"
+#include "mem/device_memory.hh"
 
 namespace gpulat {
 
 MemPartition::MemPartition(unsigned id, const PartitionParams &params,
-                           StatRegistry *stats)
+                           StatRegistry *stats, DeviceMemory *dmem)
     : id_(id),
       params_(params),
       stats_(stats),
+      dmem_(dmem),
       ropQueue_(params.ropQueueSize, params.ropLatency),
       l2Queue_(params.l2QueueSize, params.l2QueueLatency),
       l2HitPipe_(params.l2QueueSize + params.l2HitLatency,
@@ -38,6 +40,31 @@ MemPartition::MemPartition(unsigned id, const PartitionParams &params,
 void
 MemPartition::accept(Cycle now, MemRequest req)
 {
+    // Forwarded atomics RMW here, not at SM issue: accept() runs
+    // while the coordinator group drains the request network, and
+    // the crossbar's per-source FIFOs + per-destination round-robin
+    // make the arrival order schedule-invariant — so the functional
+    // outcome cannot depend on how SMs are grouped into tick jobs.
+    if (req.forwardAtomic && req.isAtomic && dmem_) {
+        const std::uint64_t old = dmem_->read64(req.atomAddr);
+        std::uint64_t next = 0;
+        switch (req.atomOp) {
+          case AtomOp::Add:
+            next = old + req.atomArg;
+            break;
+          case AtomOp::Max:
+            next = static_cast<std::uint64_t>(
+                std::max(static_cast<std::int64_t>(old),
+                         static_cast<std::int64_t>(req.atomArg)));
+            break;
+          case AtomOp::Exch:
+            next = req.atomArg;
+            break;
+        }
+        dmem_->write64(req.atomAddr, next);
+        req.atomResult = old;
+    }
+
     req.trace.ropEnq = now;
     // Dense slice-local address for L2 sets / DRAM rows.
     const Addr line_no = req.lineAddr / params_.lineBytes;

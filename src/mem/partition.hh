@@ -77,11 +77,18 @@ struct PartitionParams
  * One memory partition (L2 slice + DRAM channel). The owning Gpu
  * moves requests between the crossbars and the partition.
  */
+class DeviceMemory;
+
 class MemPartition
 {
   public:
+    /**
+     * @param dmem functional device memory for forwarded atomic
+     *        RMWs (may be null: unit tests and configurations that
+     *        never forward atomics).
+     */
     MemPartition(unsigned id, const PartitionParams &params,
-                 StatRegistry *stats);
+                 StatRegistry *stats, DeviceMemory *dmem = nullptr);
 
     /** True if the ROP queue can take a request this cycle. */
     bool canAccept() const { return !ropQueue_.full(); }
@@ -155,6 +162,7 @@ class MemPartition
     unsigned id_;
     PartitionParams params_;
     StatRegistry *stats_;
+    DeviceMemory *dmem_ = nullptr;
 
     TimedQueue<MemRequest> ropQueue_;
     TimedQueue<MemRequest> l2Queue_;

@@ -10,6 +10,7 @@
 #include <cstdint>
 
 #include "common/types.hh"
+#include "isa/isa.hh"
 #include "latency/stages.hh"
 
 namespace gpulat {
@@ -51,6 +52,26 @@ struct MemRequest
      *  instruction-generated request (excluded from Fig. 1, exactly
      *  as the paper excludes eviction traffic). */
     bool isWriteback = false;
+
+    /**
+     * @name Forwarded atomic (one lane per request)
+     *
+     * When set, the functional read-modify-write is performed by the
+     * owning MemPartition::accept() — which runs under the
+     * coordinator barrier, so the RMW order is the crossbar's
+     * schedule-invariant arrival order — instead of at SM issue.
+     * This is what lets kernels with atomics tick SM-parallel.
+     * The partition fills @p atomResult with the pre-RMW value; the
+     * SM writes it to the destination register lane on response.
+     * @{
+     */
+    bool forwardAtomic = false;
+    Addr atomAddr = kNoAddr;       ///< exact byte address of the RMW
+    AtomOp atomOp = AtomOp::Add;
+    unsigned atomLane = 0;         ///< issuing lane in the warp
+    std::uint64_t atomArg = 0;     ///< the lane's source operand
+    std::uint64_t atomResult = 0;  ///< pre-RMW value (response)
+    /** @} */
 
     LatencyTrace trace;
 };

@@ -557,7 +557,7 @@ SmCore::execGlobalMem(Warp &warp, const Instruction &inst,
             if (guard >> lane & 1)
                 warp.setReg(lane, inst.dst, dmem_->read64(addrs[lane]));
         }
-    } else if (inst.isAtomic()) {
+    } else if (inst.isAtomic() && !ctx_->forwardAtomics) {
         for (unsigned lane = 0; lane < kWarpSize; ++lane) {
             if (!(guard >> lane & 1))
                 continue;
@@ -579,6 +579,11 @@ SmCore::execGlobalMem(Warp &warp, const Instruction &inst,
             dmem_->write64(addrs[lane], next);
             warp.setReg(lane, inst.dst, old);
         }
+    } else if (inst.isAtomic()) {
+        // Forwarded: the partition performs the RMW at accept() and
+        // the pre-RMW value is written back on response. The dst
+        // register is scoreboarded below like any load, so no lane
+        // can observe it before the writeback.
     } else {
         for (unsigned lane = 0; lane < kWarpSize; ++lane) {
             if (guard >> lane & 1)
@@ -592,12 +597,15 @@ SmCore::execGlobalMem(Warp &warp, const Instruction &inst,
     op.space = inst.space;
     if (op.isAtomic) {
         // Atomics do not coalesce: one transaction per active lane.
+        op.atomOp = inst.atomOp;
         for (unsigned lane = 0; lane < kWarpSize; ++lane) {
             if (guard >> lane & 1) {
                 op.txns.push_back(Transaction{
                     addrs[lane] & ~static_cast<Addr>(
                         params_.lineBytes - 1),
                     1u << lane});
+                op.atomLanes.push_back(AtomLane{
+                    addrs[lane], warp.reg(lane, inst.srcB), lane});
             }
         }
     } else {
@@ -751,6 +759,14 @@ SmCore::tickLsu(Cycle now)
         req.token = op.token;
         req.trace.issue = op.issueCycle;
         req.trace.l1Access = now;
+        if (op.isAtomic && ctx_->forwardAtomics) {
+            const AtomLane &al = op.atomLanes[op.nextTxn];
+            req.forwardAtomic = true;
+            req.atomAddr = al.addr;
+            req.atomArg = al.arg;
+            req.atomLane = al.lane;
+            req.atomOp = op.atomOp;
+        }
         return req;
     };
 
@@ -962,6 +978,17 @@ SmCore::acceptResponse(Cycle now, MemRequest req)
         for (LoadToken token : l1Mshr_.release(req.lineAddr))
             completeLoadTxn(token, now);
     } else {
+        if (req.forwardAtomic && req.token != kNoToken) {
+            // Deliver the pre-RMW value the partition captured to
+            // the issuing lane (acceptResponse runs in phase 0,
+            // before any SM group ticks this cycle).
+            const InflightLoad &load =
+                inflight_[static_cast<std::size_t>(req.token)];
+            if (load.valid)
+                warps_[load.warpSlot].setReg(req.atomLane,
+                                             load.destReg,
+                                             req.atomResult);
+        }
         completeLoadTxn(req.token, now);
     }
 }

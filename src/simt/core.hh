@@ -82,6 +82,14 @@ struct LaunchContext
     Addr localBase = 0;
     std::uint64_t totalThreads = 0;
     std::uint64_t localBytesPerThread = 0;
+    /**
+     * Forward atomic RMWs to the owning partition's accept() hook
+     * instead of executing them functionally at issue. Set by the
+     * Gpu launch paths (it is what lets atomics tick SM-parallel);
+     * defaults off so directly-driven SmCore tests keep the
+     * issue-time semantics.
+     */
+    bool forwardAtomics = false;
 };
 
 class SmCore : public Clocked
@@ -188,6 +196,14 @@ class SmCore : public Clocked
         std::uint64_t idleAtIssue = 0;
     };
 
+    /** Per-lane payload of a forwarded atomic (parallel to txns). */
+    struct AtomLane
+    {
+        Addr addr = kNoAddr;
+        std::uint64_t arg = 0;
+        unsigned lane = 0;
+    };
+
     struct LsuOp
     {
         bool isLoad = false;
@@ -197,6 +213,8 @@ class SmCore : public Clocked
         std::vector<Transaction> txns;
         std::size_t nextTxn = 0;
         Cycle issueCycle = 0;
+        AtomOp atomOp = AtomOp::Add;
+        std::vector<AtomLane> atomLanes;
     };
 
     /** Pending scoreboard writeback. */

@@ -1,19 +1,36 @@
 /**
  * @file
- * Property test: random straight-line ALU programs executed on the
- * simulated GPU must match an independent host-side interpreter.
- * This cross-checks the functional semantics of every ALU opcode,
- * operand form and predicate interaction against a second
- * implementation.
+ * Property tests over random programs.
+ *
+ * 1. RandomPrograms: random straight-line ALU programs executed on
+ *    the simulated GPU must match an independent host-side
+ *    interpreter. This cross-checks the functional semantics of
+ *    every ALU opcode, operand form and predicate interaction
+ *    against a second implementation.
+ *
+ * 2. VerdictSoundness: random multi-block programs (random ALU
+ *    body, optional backward-branch loop, randomly chosen global
+ *    store/atomic pattern) are analyzed by the SM-parallel
+ *    footprint pass and then executed under `engine.tickJobs = 1`
+ *    and `8` with per-SM tick groups. Output memory must be
+ *    byte-identical — for kernels the analysis proves safe this is
+ *    exactly the soundness claim (SM-parallel ticking cannot
+ *    change results); for serialized kernels it checks the
+ *    fallback. The safe/serialized split is reported after the
+ *    suite so a precision regression is visible in the log.
  */
 
+#include <atomic>
 #include <bit>
+#include <cstring>
+#include <iostream>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "common/random.hh"
 #include "gpu/gpu.hh"
+#include "gpu/kernel_analysis.hh"
 #include "isa/kernel.hh"
 
 namespace gpulat {
@@ -289,6 +306,177 @@ TEST_P(RandomPrograms, GpuMatchesReferenceInterpreter)
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomPrograms,
                          ::testing::Range<std::uint64_t>(1, 21));
+
+// ------------------------------------------ verdict soundness
+
+/** Safe/serialized tally, reported once after the suite. */
+struct SoundnessTally
+{
+    std::atomic<int> safe{0};
+    std::atomic<int> serialized{0};
+};
+
+SoundnessTally &
+tally()
+{
+    static SoundnessTally t;
+    return t;
+}
+
+class SoundnessReport : public ::testing::Environment
+{
+    void TearDown() override
+    {
+        const int s = tally().safe.load();
+        const int z = tally().serialized.load();
+        if (s + z > 0)
+            std::cout << "[ verdicts ] VerdictSoundness split: "
+                      << s << " safe / " << z << " serialized ("
+                      << s + z << " programs)\n";
+    }
+};
+
+const auto *const kSoundnessReport =
+    ::testing::AddGlobalTestEnvironment(new SoundnessReport);
+
+constexpr unsigned kSoundBlocks = 4;
+constexpr unsigned kSoundThreads = 32;
+constexpr std::size_t kSoundOutBytes =
+    kSoundBlocks * kSoundThreads * 8;
+
+/**
+ * Build a random multi-block program: random ALU body (optionally
+ * wrapped in a short counted loop on p7/r12, which the body never
+ * touches), then one of four global access patterns addressed by
+ * gtid. Returns the finished kernel.
+ */
+Kernel
+buildRandomMultiBlockKernel(Rng &rng)
+{
+    KernelBuilder builder("soundness");
+
+    // Lane-and-block-dependent register seed.
+    builder.s2r(0, SpecialReg::Tid);
+    builder.s2r(1, SpecialReg::Ctaid);
+    builder.s2r(2, SpecialReg::Ntid);
+    builder.imad(0, 1, 2, 0); // gtid
+    for (int r = 1; r < 8; ++r)
+        builder.aluImm(Opcode::IMUL, r, 0,
+                       static_cast<std::int64_t>(r * 987654 + 3));
+
+    // Random ALU body, optionally looped. The loop uses r12/p7,
+    // outside the body's r0..r7 / p0..p3 universe, so a random
+    // setp can never clobber the trip count.
+    const unsigned length = 8 + static_cast<unsigned>(rng.below(16));
+    const bool looped = rng.below(2) == 0;
+    if (looped) {
+        const auto trips =
+            static_cast<std::int64_t>(1 + rng.below(4));
+        builder.movImm(12, trips);
+        builder.label("body");
+    }
+    for (unsigned i = 0; i < length; ++i)
+        randomInstruction(rng, builder);
+    if (looped) {
+        builder.aluImm(Opcode::ISUB, 12, 12, 1);
+        builder.setpImm(CmpOp::GT, 7, 12, 0);
+        builder.pred(7).bra("body");
+    }
+
+    // Address registers, rebuilt after the body clobbered r0..r7.
+    builder.s2r(8, SpecialReg::Tid);
+    builder.s2r(9, SpecialReg::Ctaid);
+    builder.s2r(10, SpecialReg::Ntid);
+    builder.imad(8, 9, 10, 8);            // gtid
+    builder.movParam(10, 0);              // out base
+
+    switch (rng.below(4)) {
+      case 0: // injective store: out[gtid] — provably disjoint
+        builder.aluImm(Opcode::SHL, 9, 8, 3);
+        builder.alu(Opcode::IADD, 10, 10, 9);
+        builder.st(MemSpace::Global, 10, 0);
+        break;
+      case 1: // aliasing store: out[gtid & 3] — blocks collide
+        builder.aluImm(Opcode::AND, 9, 8, 3);
+        builder.aluImm(Opcode::SHL, 9, 9, 3);
+        builder.alu(Opcode::IADD, 10, 10, 9);
+        builder.st(MemSpace::Global, 10, 8);
+        break;
+      case 2: // forwarded atomic onto shared slots
+        builder.aluImm(Opcode::AND, 9, 8, 7);
+        builder.aluImm(Opcode::SHL, 9, 9, 3);
+        builder.alu(Opcode::IADD, 10, 10, 9);
+        builder.movImm(11, 1);
+        builder.atom(AtomOp::Add, 13, 10, 11);
+        break;
+      default: // guarded injective store: first half of the grid
+        builder.setpImm(CmpOp::LT, 6, 8,
+                        kSoundBlocks * kSoundThreads / 2);
+        builder.aluImm(Opcode::SHL, 9, 8, 3);
+        builder.alu(Opcode::IADD, 10, 10, 9);
+        builder.pred(6).st(MemSpace::Global, 10, 8);
+        break;
+    }
+    builder.exit();
+    return builder.finalize();
+}
+
+/** Run the kernel and return (verdict, output image). */
+std::pair<SmParallelVerdict, std::vector<std::uint8_t>>
+runSound(const Kernel &kernel, std::size_t tick_jobs)
+{
+    GpuConfig cfg = makeGF106();
+    cfg.numSms = 4;
+    cfg.numPartitions = 2;
+    cfg.deviceMemBytes = 4 * 1024 * 1024;
+    cfg.engine.smGroupSize = 1;
+    cfg.engine.tickJobs = tick_jobs;
+    Gpu gpu(cfg);
+
+    const Addr out = gpu.alloc(kSoundOutBytes);
+    const std::vector<std::uint8_t> zero(kSoundOutBytes, 0);
+    gpu.copyToDevice(out, zero.data(), kSoundOutBytes);
+    gpu.launch(kernel, kSoundBlocks, kSoundThreads, {out});
+
+    std::vector<std::uint8_t> image(kSoundOutBytes);
+    gpu.copyFromDevice(image.data(), out, kSoundOutBytes);
+    return {gpu.lastVerdict(), image};
+}
+
+class VerdictSoundness
+    : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(VerdictSoundness, TickJobsCannotChangeResults)
+{
+    Rng rng(GetParam() * 2654435761u + 17);
+    const Kernel kernel = buildRandomMultiBlockKernel(rng);
+
+    const auto [verdict_serial, image_serial] = runSound(kernel, 1);
+    const auto [verdict_parallel, image_parallel] =
+        runSound(kernel, 8);
+
+    // The verdict itself must be schedule-invariant...
+    EXPECT_EQ(verdict_serial.safe, verdict_parallel.safe);
+    EXPECT_EQ(verdict_serial.reason, verdict_parallel.reason);
+
+    // ...and so must every byte the program wrote. For safe
+    // kernels this is the soundness claim; for serialized kernels
+    // it checks the coordinator fallback.
+    ASSERT_EQ(image_serial.size(), image_parallel.size());
+    EXPECT_EQ(0, std::memcmp(image_serial.data(),
+                             image_parallel.data(),
+                             image_serial.size()))
+        << "seed " << GetParam() << " (" << verdict_serial.reason
+        << ") diverged across tickJobs";
+
+    (verdict_serial.safe ? tally().safe : tally().serialized)
+        .fetch_add(1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VerdictSoundness,
+                         ::testing::Range<std::uint64_t>(1, 25));
 
 } // namespace
 } // namespace gpulat

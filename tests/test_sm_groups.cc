@@ -102,21 +102,26 @@ TEST(SmParallelSafety, SingleBlockIsAlwaysSafe)
     EXPECT_TRUE(v.safe) << v.reason;
 }
 
-TEST(SmParallelSafety, AtomicsSerialize)
+TEST(SmParallelSafety, AtomicsArePartitionForwardedAndSafe)
 {
+    // Atomics no longer serialize: their functional RMW is forwarded
+    // to the owning partition's accept hook, which runs under the
+    // coordinator barrier in schedule-invariant arrival order.
     KernelBuilder b("atom");
     b.movParam(0, 0).movImm(1, 1)
         .atom(AtomOp::Add, 2, 0, 1).exit();
     const SmParallelVerdict v = analyzeSmParallelSafety(
         b.finalize(), 8, 256, makeParams({0x1000}));
-    EXPECT_FALSE(v.safe);
-    EXPECT_NE(v.reason.find("atomic"), std::string::npos);
+    EXPECT_TRUE(v.safe) << v.reason;
+    EXPECT_TRUE(v.atomicsForwarded);
+    EXPECT_FALSE(v.hasStore); // atomics are not plain stores
 }
 
-TEST(SmParallelSafety, BackwardBranchSerializes)
+TEST(SmParallelSafety, StoreFreeLoopIsSafe)
 {
-    // A pointer-chase style loop: the affine domain cannot bound
-    // loop-carried addresses, so any backward edge serializes.
+    // A pointer-chase style loop. The fixpoint walks the backward
+    // edge instead of bailing on it; with no stores the launch is
+    // safe no matter what the loop-carried addresses do.
     KernelBuilder b("loop");
     b.movParam(0, 0)
         .movImm(1, 8)
@@ -129,8 +134,30 @@ TEST(SmParallelSafety, BackwardBranchSerializes)
         .exit();
     const SmParallelVerdict v = analyzeSmParallelSafety(
         b.finalize(), 8, 32, makeParams({0x1000}));
+    EXPECT_TRUE(v.safe) << v.reason;
+    EXPECT_FALSE(v.hasStore);
+    EXPECT_GE(v.loopHeads, 1u);
+}
+
+TEST(SmParallelSafety, LoopCarriedStoreSerializes)
+{
+    // Same loop shape, but now it stores through the loop-carried
+    // pointer: the domain cannot bound it, so the launch serializes.
+    KernelBuilder b("loopst");
+    b.movParam(0, 0)
+        .movImm(1, 8)
+        .label("again")
+        .ld(MemSpace::Global, 0, 0)
+        .st(MemSpace::Global, 0, 1)
+        .aluImm(Opcode::ISUB, 1, 1, 1)
+        .setpImm(CmpOp::GT, 0, 1, 0)
+        .pred(0)
+        .bra("again")
+        .exit();
+    const SmParallelVerdict v = analyzeSmParallelSafety(
+        b.finalize(), 8, 32, makeParams({0x1000}));
     EXPECT_FALSE(v.safe);
-    EXPECT_NE(v.reason.find("backward"), std::string::npos);
+    EXPECT_NE(v.reason.find("non-affine"), std::string::npos);
 }
 
 TEST(SmParallelSafety, StoreFreeKernelIsSafe)
@@ -193,8 +220,11 @@ TEST(SmParallelSafety, StoreAfterReconvergenceSerializes)
         .exit();
     const SmParallelVerdict v = analyzeSmParallelSafety(
         b.finalize(), 8, 32, makeParams({0x1000}));
+    // Lane 0 of every block stores to params[0]: a genuine
+    // cross-block race, surfaced as a non-affine store (the join of
+    // the two paths' register states is unbounded).
     EXPECT_FALSE(v.safe);
-    EXPECT_NE(v.reason.find("reconvergence"), std::string::npos);
+    EXPECT_NE(v.reason.find("non-affine"), std::string::npos);
 }
 
 TEST(SmParallelSafety, SharedAndLocalAccessesStaySafe)
