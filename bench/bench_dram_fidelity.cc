@@ -1,0 +1,253 @@
+/**
+ * @file
+ * DRAM-fidelity bench: the memory-model ablation grid behind the
+ * `BENCH_dram.json` perf artifact CI uploads.
+ *
+ * Two sections. (1) A pchase footprint ladder run under both DRAM
+ * models — the paper-style divergent-latency curve, showing where
+ * the ddr command constraints start to separate from the calibrated
+ * simple model. (2) A loaded-latency ablation grid — streaming
+ * vecadd under the ddr model swept over address map x MSHR banking
+ * — plus the simple baseline.
+ *
+ * Full mode gates (exit nonzero on violation):
+ *  - every run verifies (rec.correct);
+ *  - the ddr model demonstrably moves the breakdown on the loaded
+ *    workload: refresh-stall cycles > 0 and row-conflict share > 0;
+ *  - at least one (map, mshr.banks) pair splits mean load latency
+ *    from another pair.
+ *
+ * `--quick` shrinks to three points with engine.tickJobs=4 for the
+ * TSan lane (worker-parallel ticking across the ddr bank FSM).
+ */
+
+#include <chrono>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "api/experiment.hh"
+#include "common/log.hh"
+
+using namespace gpulat;
+
+namespace {
+
+struct Point
+{
+    std::string section;  ///< "ladder" or "grid"
+    std::string workload;
+    std::uint64_t size = 0; ///< footprintBytes or n
+    std::string model;
+    std::string map;
+    unsigned mshrBanks = 1;
+    ExperimentRecord rec;
+    double wallMs = 0.0;
+};
+
+double
+metric(const ExperimentRecord &rec, const std::string &key)
+{
+    const auto it = rec.metrics.find(key);
+    return it == rec.metrics.end() ? 0.0 : it->second;
+}
+
+Point
+runPoint(std::string section, std::string workload,
+         const std::string &size_param, std::uint64_t size,
+         std::string model, std::string map, unsigned mshr_banks,
+         bool quick)
+{
+    ExperimentSpec spec;
+    spec.workload = workload;
+    spec.params = {size_param + "=" + std::to_string(size)};
+    spec.overrides = {"mem.dram.model=" + model,
+                      "mem.dram.map=" + map,
+                      "mem.mshr.banks=" + std::to_string(mshr_banks)};
+    if (quick)
+        spec.overrides.push_back("engine.tickJobs=4");
+
+    const auto t0 = std::chrono::steady_clock::now();
+    Point p;
+    p.section = std::move(section);
+    p.workload = std::move(workload);
+    p.size = size;
+    p.model = std::move(model);
+    p.map = std::move(map);
+    p.mshrBanks = mshr_banks;
+    p.rec = runExperiment(spec);
+    p.wallMs = std::chrono::duration<double, std::milli>(
+                   std::chrono::steady_clock::now() - t0)
+                   .count();
+    return p;
+}
+
+void
+printPoint(const Point &p)
+{
+    std::cout << std::left << std::setw(8) << p.section
+              << std::setw(9) << p.workload << std::right
+              << std::setw(9) << p.size << std::setw(8) << p.model
+              << std::setw(5) << p.map << std::setw(6)
+              << p.mshrBanks << std::fixed << std::setprecision(1)
+              << std::setw(10) << metric(p.rec, "mean_load_latency")
+              << std::setw(8) << metric(p.rec, "dram_row_hit_pct")
+              << std::setw(8)
+              << metric(p.rec, "dram_row_conflict_pct")
+              << std::setprecision(0) << std::setw(9)
+              << metric(p.rec, "dram_refresh_stall_cycles")
+              << std::setw(9) << metric(p.rec, "mshr_bank_conflicts")
+              << std::setw(5) << (p.rec.correct ? "yes" : "NO")
+              << "\n";
+}
+
+void
+writeArtifact(const std::string &path,
+              const std::vector<Point> &points, bool gates_ok)
+{
+    std::ofstream os(path);
+    if (!os)
+        fatal("cannot write '", path, "'");
+    os << "{\n  \"schema\": \"gpulat.bench_dram.v1\",\n"
+       << "  \"bench\": \"dram_fidelity\",\n"
+       << "  \"gates_ok\": " << (gates_ok ? "true" : "false")
+       << ",\n  \"points\": [\n";
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const Point &p = points[i];
+        os << "    {\"section\": \"" << p.section
+           << "\", \"workload\": \"" << p.workload
+           << "\", \"size\": " << p.size << ", \"model\": \""
+           << p.model << "\", \"map\": \"" << p.map
+           << "\", \"mshr_banks\": " << p.mshrBanks
+           << ", \"correct\": " << (p.rec.correct ? "true" : "false")
+           << ", \"cycles\": " << p.rec.cycles << std::fixed
+           << std::setprecision(2) << ", \"mean_load_latency\": "
+           << metric(p.rec, "mean_load_latency")
+           << ", \"dram_row_hit_pct\": "
+           << metric(p.rec, "dram_row_hit_pct")
+           << ", \"dram_rd_row_hit_pct\": "
+           << metric(p.rec, "dram_rd_row_hit_pct")
+           << ", \"dram_wr_row_hit_pct\": "
+           << metric(p.rec, "dram_wr_row_hit_pct")
+           << ", \"dram_row_conflict_pct\": "
+           << metric(p.rec, "dram_row_conflict_pct")
+           << ", \"dram_refresh_stall_cycles\": "
+           << metric(p.rec, "dram_refresh_stall_cycles")
+           << ", \"mshr_bank_conflicts\": "
+           << metric(p.rec, "mshr_bank_conflicts")
+           << ", \"mean_dram_queue_wait\": "
+           << metric(p.rec, "mean_dram_queue_wait")
+           << ", \"wall_ms\": " << p.wallMs << "}"
+           << (i + 1 < points.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n}\n";
+    std::cout << "wrote " << path << "\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string artifact;
+    bool quick = false;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--dram-json") {
+            if (i + 1 >= argc)
+                fatal("'--dram-json' needs a file path");
+            artifact = argv[++i];
+        } else if (arg == "--quick") {
+            quick = true;
+        } else {
+            fatal("unknown option '", arg,
+                  "' (expected --dram-json FILE or --quick)");
+        }
+    }
+
+    std::cout << "DRAM fidelity: model x map x mshr.banks\n\n"
+              << std::left << std::setw(8) << "section"
+              << std::setw(9) << "workload" << std::right
+              << std::setw(9) << "size" << std::setw(8) << "model"
+              << std::setw(5) << "map" << std::setw(6) << "banks"
+              << std::setw(10) << "latency" << std::setw(8) << "hit%"
+              << std::setw(8) << "conf%" << std::setw(9) << "refstl"
+              << std::setw(9) << "mshrcf" << std::setw(5) << "ok"
+              << "\n";
+
+    std::vector<Point> points;
+    bool all_correct = true;
+    auto add = [&](Point p) {
+        all_correct &= p.rec.correct;
+        printPoint(p);
+        points.push_back(std::move(p));
+    };
+
+    // Section 1: pchase footprint ladder, simple vs ddr.
+    const std::vector<std::uint64_t> ladder =
+        quick ? std::vector<std::uint64_t>{2u << 20}
+              : std::vector<std::uint64_t>{256u << 10, 2u << 20,
+                                           8u << 20};
+    for (const std::uint64_t footprint : ladder) {
+        for (const char *model : {"simple", "ddr"}) {
+            add(runPoint("ladder", "pchase", "footprintBytes",
+                         footprint, model, "row", 1, quick));
+            if (quick)
+                break; // one model is enough for the TSan lane
+        }
+    }
+    std::cout << "\n";
+
+    // Section 2: loaded-latency ablation grid on streaming vecadd.
+    const std::uint64_t n = quick ? 16384 : 65536;
+    add(runPoint("grid", "vecadd", "n", n, "simple", "row", 1,
+                 quick));
+    const std::vector<const char *> maps =
+        quick ? std::vector<const char *>{"bg"}
+              : std::vector<const char *>{"row", "bg", "xor"};
+    const std::vector<unsigned> banks =
+        quick ? std::vector<unsigned>{8}
+              : std::vector<unsigned>{1, 8};
+    std::set<double> grid_latencies;
+    std::size_t loaded_ddr = 0; // index: push_back invalidates refs
+    for (const char *map : maps) {
+        for (const unsigned b : banks) {
+            add(runPoint("grid", "vecadd", "n", n, "ddr", map, b,
+                         quick));
+            grid_latencies.insert(
+                metric(points.back().rec, "mean_load_latency"));
+            if (!loaded_ddr)
+                loaded_ddr = points.size() - 1;
+        }
+    }
+
+    // Gates (full mode): the ddr model must visibly move the
+    // breakdown, and the ablation grid must actually split.
+    bool gates_ok = true;
+    if (!quick) {
+        const Point &ddr_pt = points[loaded_ddr];
+        if (metric(ddr_pt.rec, "dram_refresh_stall_cycles") <=
+            0.0) {
+            std::cout << "FAIL: ddr loaded run shows no refresh "
+                         "stalls\n";
+            gates_ok = false;
+        }
+        if (metric(ddr_pt.rec, "dram_row_conflict_pct") <= 0.0) {
+            std::cout << "FAIL: ddr loaded run shows no bank "
+                         "conflicts\n";
+            gates_ok = false;
+        }
+        if (grid_latencies.size() < 2) {
+            std::cout << "FAIL: no (map, mshr.banks) pair splits "
+                         "mean load latency\n";
+            gates_ok = false;
+        }
+    }
+
+    if (!artifact.empty())
+        writeArtifact(artifact, points, gates_ok);
+    return all_correct && gates_ok ? 0 : 1;
+}

@@ -100,6 +100,19 @@ parseValue(const std::string &path, const std::string &text, T &dst)
         if (text == "fcfs") dst = DramSchedPolicy::FCFS;
         else if (text == "frfcfs") dst = DramSchedPolicy::FRFCFS;
         else fatal(path, ": '", text, "' is not fcfs|frfcfs");
+    } else if constexpr (std::is_same_v<T, DramModel>) {
+        if (text == "simple") dst = DramModel::Simple;
+        else if (text == "ddr") dst = DramModel::Ddr;
+        else fatal(path, ": '", text, "' is not simple|ddr");
+    } else if constexpr (std::is_same_v<T, DramAddrMap>) {
+        if (text == "row") dst = DramAddrMap::Row;
+        else if (text == "bg") dst = DramAddrMap::BankGroup;
+        else if (text == "xor") dst = DramAddrMap::Xor;
+        else fatal(path, ": '", text, "' is not row|bg|xor");
+    } else if constexpr (std::is_same_v<T, DramPagePolicy>) {
+        if (text == "open") dst = DramPagePolicy::Open;
+        else if (text == "closed") dst = DramPagePolicy::Closed;
+        else fatal(path, ": '", text, "' is not open|closed");
     } else if constexpr (std::is_same_v<T, WritePolicy>) {
         if (text == "writethrough") dst = WritePolicy::WriteThrough;
         else if (text == "writeback") dst = WritePolicy::WriteBack;
@@ -150,6 +163,10 @@ formatValue(const T &v)
         return v == SchedPolicy::LRR ? "lrr" : "gto";
     } else if constexpr (std::is_same_v<T, DramSchedPolicy>) {
         return v == DramSchedPolicy::FCFS ? "fcfs" : "frfcfs";
+    } else if constexpr (std::is_same_v<T, DramModel> ||
+                         std::is_same_v<T, DramAddrMap> ||
+                         std::is_same_v<T, DramPagePolicy>) {
+        return toString(v);
     } else if constexpr (std::is_same_v<T, WritePolicy>) {
         return v == WritePolicy::WriteThrough ? "writethrough"
                                               : "writeback";
@@ -273,6 +290,79 @@ buildKeys()
         GPULAT_CFG_KEY(partition.dram.timing.tCAS, "cycles"),
         GPULAT_CFG_KEY(partition.dram.timing.tBurst, "cycles"),
         GPULAT_CFG_KEY(partition.dram.timing.tExtra, "cycles"),
+
+        // Memory-fidelity axes live under a stable `mem.` namespace
+        // (sweep specs shouldn't depend on which struct holds the
+        // knob; starveLimit also aliases the historical
+        // partition.dramStarvationLimit spelling).
+        makeKey("mem.dram.model", "simple|ddr",
+                [](GpuConfig &c) -> auto & {
+                    return c.partition.dram.model;
+                }),
+        makeKey("mem.dram.map", "row|bg|xor",
+                [](GpuConfig &c) -> auto & {
+                    return c.partition.dram.map;
+                }),
+        makeKey("mem.dram.pagePolicy", "open|closed",
+                [](GpuConfig &c) -> auto & {
+                    return c.partition.dram.page;
+                }),
+        makeKey("mem.dram.ranks", "uint",
+                [](GpuConfig &c) -> auto & {
+                    return c.partition.dram.ranks;
+                }),
+        makeKey("mem.dram.bankGroups", "uint",
+                [](GpuConfig &c) -> auto & {
+                    return c.partition.dram.bankGroups;
+                }),
+        makeKey("mem.dram.tRAS", "cycles",
+                [](GpuConfig &c) -> auto & {
+                    return c.partition.dram.ddr.tRAS;
+                }),
+        makeKey("mem.dram.tRRDS", "cycles",
+                [](GpuConfig &c) -> auto & {
+                    return c.partition.dram.ddr.tRRDS;
+                }),
+        makeKey("mem.dram.tRRDL", "cycles",
+                [](GpuConfig &c) -> auto & {
+                    return c.partition.dram.ddr.tRRDL;
+                }),
+        makeKey("mem.dram.tFAW", "cycles",
+                [](GpuConfig &c) -> auto & {
+                    return c.partition.dram.ddr.tFAW;
+                }),
+        makeKey("mem.dram.tWTR", "cycles",
+                [](GpuConfig &c) -> auto & {
+                    return c.partition.dram.ddr.tWTR;
+                }),
+        makeKey("mem.dram.tRTW", "cycles",
+                [](GpuConfig &c) -> auto & {
+                    return c.partition.dram.ddr.tRTW;
+                }),
+        makeKey("mem.dram.tREFI", "cycles (0 = no refresh)",
+                [](GpuConfig &c) -> auto & {
+                    return c.partition.dram.ddr.tREFI;
+                }),
+        makeKey("mem.dram.tRFC", "cycles",
+                [](GpuConfig &c) -> auto & {
+                    return c.partition.dram.ddr.tRFC;
+                }),
+        makeKey("mem.dram.starveLimit", "cycles",
+                [](GpuConfig &c) -> auto & {
+                    return c.partition.dramStarvationLimit;
+                }),
+        makeKey("mem.mshr.banks", "uint",
+                [](GpuConfig &c) -> auto & {
+                    return c.partition.l2MshrBanks;
+                }),
+        makeKey("mem.mshr.bankEntries", "uint (0 = entries/banks)",
+                [](GpuConfig &c) -> auto & {
+                    return c.partition.l2MshrBankEntries;
+                }),
+        makeKey("mem.mshr.bankMerges", "uint (0 = maxMerge)",
+                [](GpuConfig &c) -> auto & {
+                    return c.partition.l2MshrBankMerges;
+                }),
     };
 
 #undef GPULAT_CFG_KEY

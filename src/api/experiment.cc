@@ -172,6 +172,40 @@ collectRecord(Gpu &gpu, const ExperimentSpec &spec,
               static_cast<double>(dram_total)
         : 0.0;
 
+    // Memory-fidelity metrics (always present so the record schema
+    // is stable across models; they are simply 0 on `simple` runs
+    // or when the counters never fired).
+    const auto counter_or_zero = [&rec](const char *k) {
+        const auto it = rec.counters.find(k);
+        return it == rec.counters.end()
+            ? std::uint64_t{0} : it->second;
+    };
+    auto dir_hit_pct = [&](const char *prefix) {
+        const std::uint64_t hits =
+            counter_or_zero((std::string("dram.") + prefix +
+                             "_row_hits").c_str());
+        std::uint64_t total = hits;
+        for (const char *k : {"_row_misses", "_row_closed"}) {
+            total += counter_or_zero(
+                (std::string("dram.") + prefix + k).c_str());
+        }
+        return total ? 100.0 * static_cast<double>(hits) /
+                           static_cast<double>(total)
+                     : 0.0;
+    };
+    rec.metrics["dram_rd_row_hit_pct"] = dir_hit_pct("rd");
+    rec.metrics["dram_wr_row_hit_pct"] = dir_hit_pct("wr");
+    const std::uint64_t row_conflicts =
+        counter_or_zero("dram.row_misses");
+    rec.metrics["dram_row_conflict_pct"] = dram_total
+        ? 100.0 * static_cast<double>(row_conflicts) /
+              static_cast<double>(dram_total)
+        : 0.0;
+    rec.metrics["dram_refresh_stall_cycles"] = static_cast<double>(
+        counter_or_zero("dram.refresh_stall_cycles"));
+    rec.metrics["mshr_bank_conflicts"] = static_cast<double>(
+        counter_or_zero("l2_mshr_bank_conflicts"));
+
     StatRegistry::ScalarDelta wait;
     for (const auto &[name, scalar] : stats.scalars()) {
         (void)scalar;

@@ -66,6 +66,15 @@ scalePartitionLatencies(PartitionParams &p, ClockRatio l2,
     p.dram.timing.tCAS = toCoreCycles(p.dram.timing.tCAS, dram);
     p.dram.timing.tBurst = toCoreCycles(p.dram.timing.tBurst, dram);
     p.dram.timing.tExtra = toCoreCycles(p.dram.timing.tExtra, dram);
+
+    p.dram.ddr.tRAS = toCoreCycles(p.dram.ddr.tRAS, dram);
+    p.dram.ddr.tRRDS = toCoreCycles(p.dram.ddr.tRRDS, dram);
+    p.dram.ddr.tRRDL = toCoreCycles(p.dram.ddr.tRRDL, dram);
+    p.dram.ddr.tFAW = toCoreCycles(p.dram.ddr.tFAW, dram);
+    p.dram.ddr.tWTR = toCoreCycles(p.dram.ddr.tWTR, dram);
+    p.dram.ddr.tRTW = toCoreCycles(p.dram.ddr.tRTW, dram);
+    p.dram.ddr.tREFI = toCoreCycles(p.dram.ddr.tREFI, dram);
+    p.dram.ddr.tRFC = toCoreCycles(p.dram.ddr.tRFC, dram);
 }
 
 } // namespace

@@ -1,29 +1,47 @@
 /**
  * @file
- * Banked GDDR-style DRAM channel timing model.
+ * Banked GDDR/DDR-style DRAM channel timing model.
  *
- * One channel per memory partition. Banks keep an open row
- * (open-page policy); the service time of a request depends on
- * whether it hits the open row (CAS + burst), conflicts with
- * another row (precharge + activate + CAS + burst) or targets a
- * closed bank (activate + CAS + burst). A shared data bus
- * serializes bursts. All parameters are in core ("hot") clock
- * cycles, like every latency the paper reports.
+ * One channel per memory partition, selectable fidelity
+ * (`mem.dram.model`):
+ *
+ *  - `simple` (default): the original flat open-row check — the
+ *    service time of a request depends only on whether it hits the
+ *    open row (CAS + burst), conflicts with another row
+ *    (precharge + activate + CAS + burst) or targets a closed bank
+ *    (activate + CAS + burst), with a shared data bus serializing
+ *    bursts. Calibrated against the paper's Table I; bit-identical
+ *    to the seed goldens.
+ *
+ *  - `ddr`: a per-bank command state machine (ACT/PRE/RD/WR/REF)
+ *    that additionally honors tRAS (activate -> precharge),
+ *    tRRD_S/tRRD_L (activate-to-activate across / within bank
+ *    groups), tFAW (sliding four-activate window per rank),
+ *    tWTR/tRTW read-write bus turnaround, configurable ranks,
+ *    open- vs closed-page policy and periodic refresh (tREFI/tRFC)
+ *    that blocks the whole rank and closes its rows. Refresh is
+ *    applied lazily as a pure function of the current cycle, so
+ *    idle fast-forward (any mode) can never skip over one.
+ *
+ * All parameters are in DRAM-domain ("hot" at 1:1) clock cycles,
+ * like every latency the paper reports.
  */
 
 #ifndef GPULAT_MEM_DRAM_HH
 #define GPULAT_MEM_DRAM_HH
 
 #include <cstdint>
+#include <deque>
 #include <string>
 #include <vector>
 
 #include "common/stats.hh"
 #include "common/types.hh"
+#include "mem/dram_map.hh"
 
 namespace gpulat {
 
-/** DRAM timing parameters (core cycles). */
+/** DRAM timing parameters shared by both models (core cycles). */
 struct DramTiming
 {
     Cycle tRCD = 40;  ///< activate -> column command
@@ -36,17 +54,44 @@ struct DramTiming
     Cycle tExtra = 0;
 };
 
-/** Geometry of one DRAM channel. */
+/** Extra timing constraints only the `ddr` model enforces. */
+struct DdrTiming
+{
+    Cycle tRAS = 68;    ///< activate -> precharge (row open minimum)
+    Cycle tRRDS = 8;    ///< activate -> activate, other bank group
+    Cycle tRRDL = 12;   ///< activate -> activate, same bank group
+    Cycle tFAW = 40;    ///< window holding at most four activates
+    Cycle tWTR = 16;    ///< write burst end -> read burst start
+    Cycle tRTW = 12;    ///< read burst end -> write burst start
+    Cycle tREFI = 3900; ///< refresh command interval (per rank)
+    Cycle tRFC = 260;   ///< refresh cycle time (rank blocked)
+};
+
+/** Geometry + policy of one DRAM channel. */
 struct DramParams
 {
+    DramModel model = DramModel::Simple;
+    DramAddrMap map = DramAddrMap::Row;
+    DramPagePolicy page = DramPagePolicy::Open;
     DramTiming timing;
-    unsigned banks = 8;
+    DdrTiming ddr;
+    unsigned banks = 8;      ///< banks per rank
+    unsigned bankGroups = 4; ///< bank groups per rank (ddr model)
+    unsigned ranks = 1;      ///< ranks sharing the channel bus
     /** Bytes per row per bank (row-buffer locality granularity). */
     std::uint64_t rowBytes = 2048;
+
+    DramGeometry
+    geometry() const
+    {
+        return DramGeometry{banks, bankGroups, ranks, rowBytes, map};
+    }
 };
 
 /**
- * One DRAM channel: bank state + data-bus serialization.
+ * One DRAM channel: bank state + data-bus serialization. The
+ * scheduler (mem/dram_sched.hh) picks a queued request; schedule()
+ * resolves all timing constraints and returns its completion time.
  */
 class DramChannel
 {
@@ -54,7 +99,10 @@ class DramChannel
     DramChannel(std::string name, const DramParams &params,
                 StatRegistry *stats);
 
-    /** Bank index a line address maps to. */
+    /** Full coordinates of a line address (mapper output). */
+    DramCoord coordOf(Addr line_addr) const;
+
+    /** Bank index a line address maps to (rank-flattened). */
     unsigned bankOf(Addr line_addr) const;
     /** Row (within its bank) a line address maps to. */
     std::uint64_t rowOf(Addr line_addr) const;
@@ -62,7 +110,9 @@ class DramChannel
     /** True if the request would hit the currently open row. */
     bool rowHit(Addr line_addr) const;
 
-    /** True if the bank can accept a new command at @p now. */
+    /** True if the bank can accept a new command at @p now. A
+     *  mid-refresh rank does not block here — schedule() clamps the
+     *  command past the window and charges refresh_stall_cycles. */
     bool bankReady(Addr line_addr, Cycle now) const;
 
     /**
@@ -74,6 +124,9 @@ class DramChannel
 
     const DramParams &params() const { return params_; }
 
+    /** Refresh stall cycles charged so far (ddr model). */
+    std::uint64_t refreshStallCycles() const;
+
     /** Drop open rows / busy state (between experiments). */
     void reset();
 
@@ -83,16 +136,64 @@ class DramChannel
         bool rowOpen = false;
         std::uint64_t openRow = 0;
         Cycle readyAt = 0; ///< earliest next command
+        Cycle actAt = 0;   ///< last ACT issue time (tRAS anchor)
+        bool actValid = false;
     };
+
+    /** Per-rank ddr bookkeeping (refresh + activate windows). */
+    struct Rank
+    {
+        /** Refresh epochs already applied (rows closed, stall
+         *  window recorded); epoch k occupies
+         *  [k*tREFI, k*tREFI + tRFC). */
+        std::uint64_t refreshEpochs = 0;
+        Cycle refreshBusyUntil = 0;
+        /** Issue times of the most recent activates (tFAW window,
+         *  at most 4 entries kept). */
+        std::deque<Cycle> actWindow;
+        Cycle lastActAt = 0;
+        bool lastActValid = false;
+        /** Last activate per bank group (tRRD_L). */
+        std::vector<Cycle> groupActAt;
+        std::vector<bool> groupActValid;
+    };
+
+    Cycle scheduleSimple(const DramCoord &c, bool is_write,
+                         Cycle now);
+    Cycle scheduleDdr(const DramCoord &c, bool is_write, Cycle now);
+
+    /** Apply all refresh epochs that started by @p now to @p rank:
+     *  close its rows and extend its busy window. */
+    void catchUpRefresh(unsigned rank, Cycle now);
+
+    /** Classify the access against the bank's row state and bump
+     *  the aggregate + rd/wr (+ per-bank-group) counters. */
+    enum class RowOutcome : std::uint8_t { Hit, Conflict, Closed };
+    RowOutcome classify(const Bank &bank, const DramCoord &c,
+                        bool is_write);
 
     std::string name_;
     DramParams params_;
-    std::vector<Bank> banks_;
+    std::vector<Bank> banks_;  ///< ranks * banks entries
+    std::vector<Rank> ranks_;
     Cycle busFreeAt_ = 0;
+    Cycle lastReadEnd_ = 0;
+    bool lastReadValid_ = false;
+    Cycle lastWriteEnd_ = 0;
+    bool lastWriteValid_ = false;
 
     Counter *rowHits_;
     Counter *rowMisses_;
     Counter *rowClosed_;
+    /** Read/write split of the same three outcomes (satellite of
+     *  the fidelity refactor: the simple model counts them too, so
+     *  the ddr model's turnaround stats have a baseline). */
+    Counter *rdOutcome_[3];
+    Counter *wrOutcome_[3];
+    /** Per-bank-group outcome counters (ddr model only). */
+    std::vector<Counter *> bgOutcome_[3];
+    Counter *refreshes_ = nullptr;
+    Counter *refreshStall_ = nullptr;
 };
 
 } // namespace gpulat

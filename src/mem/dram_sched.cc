@@ -1,5 +1,7 @@
 #include "mem/dram_sched.hh"
 
+#include "common/log.hh"
+
 namespace gpulat {
 
 const char *
@@ -29,10 +31,14 @@ pickDramRequest(DramSchedPolicy policy,
     }
 
     // Anti-starvation: when the oldest request has been bypassed for
-    // too long, stop preferring row hits over it.
+    // too long, stop preferring row hits over it. An unstamped
+    // enqueue cycle would silently disable this forever, so it is a
+    // bug in the producer (pushDram() stamps every request).
     const Cycle head_enq = queue.front().trace.dramEnq;
-    const bool starving = head_enq != kNoCycle &&
-                          now - head_enq > starvation_limit;
+    GPULAT_ASSERT(head_enq != kNoCycle,
+                  "DRAM request reached the scheduler without a "
+                  "dramEnq stamp: anti-starvation would be disabled");
+    const bool starving = now - head_enq > starvation_limit;
 
     // FR-FCFS: oldest ready row-hit first, then oldest ready request.
     std::optional<std::size_t> oldest_ready;

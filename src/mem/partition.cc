@@ -21,7 +21,9 @@ MemPartition::MemPartition(unsigned id, const PartitionParams &params,
                  params.l2HitLatency),
       l2MissPipe_(params.l2QueueSize + params.l2MissLatency,
                   params.l2MissLatency),
-      l2Mshr_(params.l2MshrEntries, params.l2MshrMaxMerge),
+      l2Mshr_(params.l2MshrEntries, params.l2MshrMaxMerge,
+              params.l2MshrBanks, params.l2MshrBankEntries,
+              params.l2MshrBankMerges, params.lineBytes),
       dram_("part" + std::to_string(id) + ".dram", params.dram, stats),
       returnQueue_(params.returnQueueSize, params.returnQueueLatency)
 {
@@ -31,6 +33,8 @@ MemPartition::MemPartition(unsigned id, const PartitionParams &params,
                                       stats);
     }
     l2Accesses_ = &stats->counter(prefix + ".l2_accesses");
+    mshrBankConflicts_ =
+        &stats->counter(prefix + ".l2_mshr_bank_conflicts");
     dramReads_ = &stats->counter(prefix + ".dram_reads");
     dramWrites_ = &stats->counter(prefix + ".dram_writes");
     writebacks_ = &stats->counter(prefix + ".l2_writebacks");
@@ -141,8 +145,15 @@ MemPartition::tickL2MissPipe(Cycle now)
         return;
     }
 
-    if (l2Mshr_.inFlight() >= l2Mshr_.capacity() ||
-        dramQueue_.size() >= params_.dramQueueSize)
+    if (!l2Mshr_.canAllocate(head.dramAddr())) {
+        // With one bank this is the old whole-table check; with
+        // more, the line's bank may be full while the table still
+        // has room — a conflict only the banked shape can produce.
+        if (l2Mshr_.inFlight() < l2Mshr_.capacity())
+            mshrBankConflicts_->inc();
+        return; // structural stall
+    }
+    if (dramQueue_.size() >= params_.dramQueueSize)
         return; // structural stall
 
     // Primary miss: track the line (payload unused for the primary;

@@ -56,6 +56,12 @@ struct PartitionParams
     Cycle l2MissLatency = 20;
     std::size_t l2MshrEntries = 32;
     std::size_t l2MshrMaxMerge = 8;
+    /** Banked MSHR front-end (esesc-style); 1 = the flat table. */
+    unsigned l2MshrBanks = 1;
+    /** Entries per bank (0: l2MshrEntries / l2MshrBanks). */
+    std::size_t l2MshrBankEntries = 0;
+    /** Per-line merge cap override (0: l2MshrMaxMerge). */
+    std::size_t l2MshrBankMerges = 0;
 
     std::size_t dramQueueSize = 32;
     DramSchedPolicy sched = DramSchedPolicy::FRFCFS;
@@ -182,6 +188,9 @@ class MemPartition
     TimedQueue<MemRequest> returnQueue_;
 
     Counter *l2Accesses_;
+    /** Primary miss stalled on its MSHR bank while the table as a
+     *  whole still had room (banked front-end only). */
+    Counter *mshrBankConflicts_;
     Counter *dramReads_;
     Counter *dramWrites_;
     Counter *writebacks_;

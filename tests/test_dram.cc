@@ -28,10 +28,13 @@ testParams()
 }
 
 MemRequest
-req(Addr line)
+req(Addr line, Cycle enq = 0)
 {
     MemRequest r;
     r.lineAddr = line;
+    // The scheduler asserts every request carries its enqueue cycle
+    // (anti-starvation aging would otherwise be silently disabled).
+    r.trace.dramEnq = enq;
     return r;
 }
 
@@ -182,6 +185,284 @@ TEST(DramSched, EmptyQueueYieldsNothing)
     std::deque<MemRequest> q;
     EXPECT_FALSE(pickDramRequest(DramSchedPolicy::FRFCFS, q, ch, 0)
                      .has_value());
+}
+
+// ---------------------------------------------------------------
+// Address mapper.
+
+TEST(DramMap, RowMapMatchesLegacyArithmetic)
+{
+    DramGeometry g;
+    g.banks = 4;
+    g.bankGroups = 2;
+    g.rowBytes = 1024;
+    for (Addr a : {Addr{0}, Addr{512}, Addr{1024}, Addr{3 * 1024},
+                   Addr{4 * 1024}, Addr{129 * 1024}}) {
+        const DramCoord c = mapDramAddress(g, a);
+        EXPECT_EQ(c.flatBank, (a / 1024) % 4) << "addr " << a;
+        EXPECT_EQ(c.row, a / 1024 / 4) << "addr " << a;
+        EXPECT_EQ(c.rank, 0u);
+    }
+}
+
+TEST(DramMap, BankGroupMapRenumbersGroupsOnly)
+{
+    DramGeometry g;
+    g.banks = 4;
+    g.bankGroups = 2;
+    g.rowBytes = 1024;
+    // Row map: contiguous runs {0,1} and {2,3}.
+    g.map = DramAddrMap::Row;
+    EXPECT_EQ(mapDramAddress(g, 0).group, 0u);
+    EXPECT_EQ(mapDramAddress(g, 1024).group, 0u);
+    EXPECT_EQ(mapDramAddress(g, 2 * 1024).group, 1u);
+    // BankGroup map: alternate, same flat bank.
+    g.map = DramAddrMap::BankGroup;
+    EXPECT_EQ(mapDramAddress(g, 1024).flatBank, 1u);
+    EXPECT_EQ(mapDramAddress(g, 0).group, 0u);
+    EXPECT_EQ(mapDramAddress(g, 1024).group, 1u);
+    EXPECT_EQ(mapDramAddress(g, 2 * 1024).group, 0u);
+}
+
+TEST(DramMap, XorMapPermutesBanksPerRow)
+{
+    DramGeometry g;
+    g.banks = 4;
+    g.bankGroups = 2;
+    g.rowBytes = 1024;
+    g.map = DramAddrMap::Xor;
+    // A stride of banks*rowBytes pins one bank under the Row map but
+    // walks all banks under the hash.
+    std::vector<bool> seen(4, false);
+    for (unsigned i = 0; i < 4; ++i)
+        seen[mapDramAddress(g, Addr{i} * 4 * 1024).flatBank] = true;
+    for (unsigned b = 0; b < 4; ++b)
+        EXPECT_TRUE(seen[b]) << "bank " << b << " never hit";
+    // Still bijective inside one row.
+    std::vector<bool> row_seen(4, false);
+    for (unsigned i = 0; i < 4; ++i)
+        row_seen[mapDramAddress(g, Addr{i} * 1024).flatBank] = true;
+    for (unsigned b = 0; b < 4; ++b)
+        EXPECT_TRUE(row_seen[b]);
+}
+
+TEST(DramMap, RanksExtendFlatBankSpace)
+{
+    DramGeometry g;
+    g.banks = 4;
+    g.bankGroups = 2;
+    g.ranks = 2;
+    g.rowBytes = 1024;
+    const DramCoord c = mapDramAddress(g, 4 * 1024);
+    EXPECT_EQ(c.flatBank, 4u);
+    EXPECT_EQ(c.rank, 1u);
+    EXPECT_EQ(c.bankInRank, 0u);
+    EXPECT_EQ(mapDramAddress(g, 8 * 1024).flatBank, 0u);
+    EXPECT_EQ(mapDramAddress(g, 8 * 1024).row, 1u);
+}
+
+// ---------------------------------------------------------------
+// DDR command state machine. Small hand-computable timings:
+// tRCD=20 tRP=15 tCAS=10 tBurst=4 plus the ddr constraints below.
+
+DramParams
+ddrParams()
+{
+    DramParams p = testParams();
+    p.model = DramModel::Ddr;
+    p.bankGroups = 2;
+    p.ddr.tRAS = 50;
+    p.ddr.tRRDS = 6;
+    p.ddr.tRRDL = 12;
+    p.ddr.tFAW = 60;
+    p.ddr.tWTR = 30;
+    p.ddr.tRTW = 25;
+    p.ddr.tREFI = 1000;
+    p.ddr.tRFC = 120;
+    return p;
+}
+
+TEST(DramDdr, ColdAccessMatchesSimpleModel)
+{
+    StatRegistry stats;
+    DramChannel ch("d", ddrParams(), &stats);
+    // No prior activity: only ACT + CAS + burst, like `simple`.
+    EXPECT_EQ(ch.schedule(0, false, 100), 100u + 20 + 10 + 4);
+    EXPECT_EQ(stats.counterValue("d.row_closed"), 1u);
+    EXPECT_EQ(stats.counterValue("d.rd_row_closed"), 1u);
+    EXPECT_EQ(stats.counterValue("d.bg0.row_closed"), 1u);
+}
+
+TEST(DramDdr, TRasDelaysPrechargeOnRowConflict)
+{
+    StatRegistry stats;
+    DramParams p = ddrParams();
+    DramChannel ch("d", p, &stats);
+    ch.schedule(0, false, 0); // ACT bank 0 at cycle 0
+    // Conflict in bank 0 at cycle 40: PRE must wait for tRAS (ACT
+    // 0 + 50), then pay tRP + tRCD + tCAS.
+    const Addr conflict = p.banks * p.rowBytes;
+    EXPECT_EQ(ch.schedule(conflict, false, 40),
+              50u + 15 + 20 + 10 + 4);
+}
+
+TEST(DramDdr, SameGroupActivatePairSlowerThanCrossGroup)
+{
+    // banks {0,1} share group 0, {2,3} group 1 under the Row map.
+    Cycle done[2];
+    int i = 0;
+    for (Addr second : {Addr{1024}, Addr{2 * 1024}}) {
+        StatRegistry stats;
+        DramChannel ch("d", ddrParams(), &stats);
+        ch.schedule(0, false, 0);
+        done[i++] = ch.schedule(second, false, 0);
+    }
+    // Same group: ACT held tRRD_L(12) -> data at 12+30, done 46.
+    EXPECT_EQ(done[0], 46u);
+    // Cross group: ACT held tRRD_S(6) -> data at 36, done 40.
+    EXPECT_EQ(done[1], 40u);
+}
+
+TEST(DramDdr, TFawCapsFifthActivate)
+{
+    StatRegistry stats;
+    DramParams p = ddrParams();
+    p.banks = 8;
+    p.bankGroups = 4;
+    DramChannel ch("d", p, &stats);
+    // Five activates to distinct banks at cycle 0. ACT times run
+    // 0, 12, 18, 30 (tRRD_S/L alternating as the bank walk crosses
+    // the two-bank groups); the fifth must wait for the first + tFAW.
+    Cycle done = 0;
+    for (unsigned b = 0; b <= 4; ++b)
+        done = ch.schedule(Addr{b} * p.rowBytes, false, 0);
+    // ACT at max(36, 0 + tFAW=60) = 60 -> data 90 -> done 94.
+    EXPECT_EQ(done, 94u);
+}
+
+TEST(DramDdr, ReadWriteTurnaroundChargesBusSwitch)
+{
+    StatRegistry stats;
+    DramChannel ch("d", ddrParams(), &stats);
+    const Cycle rd = ch.schedule(0, false, 0);
+    EXPECT_EQ(rd, 34u); // burst ends 34
+    // Write hit at 40 would burst at 50, but tRTW holds the bus
+    // until read-end 34 + 25 = 59.
+    EXPECT_EQ(ch.schedule(128, true, 40), 59u + 4);
+    // Read hit at 63 would burst at 73, but tWTR holds it until
+    // write-end 63 + 30 = 93.
+    EXPECT_EQ(ch.schedule(256, false, 63), 93u + 4);
+    EXPECT_EQ(stats.counterValue("d.wr_row_hits"), 1u);
+    EXPECT_EQ(stats.counterValue("d.rd_row_hits"), 1u);
+}
+
+TEST(DramDdr, RefreshClosesRowsAndStallsRank)
+{
+    StatRegistry stats;
+    DramChannel ch("d", ddrParams(), &stats);
+    ch.schedule(0, false, 0); // open bank 0 row 0
+    EXPECT_TRUE(ch.rowHit(0));
+
+    // Epoch 1 occupies [1000, 1120): an access at 1005 waits it out
+    // and finds its row closed.
+    EXPECT_EQ(ch.schedule(0, false, 1005), 1120u + 20 + 10 + 4);
+    EXPECT_EQ(stats.counterValue("d.refreshes"), 1u);
+    EXPECT_EQ(stats.counterValue("d.refresh_stall_cycles"), 115u);
+    EXPECT_EQ(stats.counterValue("d.row_closed"), 2u);
+    EXPECT_EQ(ch.refreshStallCycles(), 115u);
+}
+
+TEST(DramDdr, RefreshCatchUpAfterLongIdleCountsEveryEpoch)
+{
+    StatRegistry stats;
+    DramChannel ch("d", ddrParams(), &stats);
+    ch.schedule(0, false, 0);
+    // Jump over three epochs: rows are closed exactly once per
+    // epoch, and only the last epoch's window can still stall.
+    ch.schedule(0, false, 3500);
+    EXPECT_EQ(stats.counterValue("d.refreshes"), 3u);
+    EXPECT_EQ(stats.counterValue("d.refresh_stall_cycles"), 0u);
+}
+
+TEST(DramDdr, ClosedPagePolicyAutoPrecharges)
+{
+    StatRegistry stats;
+    DramParams p = ddrParams();
+    p.page = DramPagePolicy::Closed;
+    DramChannel ch("d", p, &stats);
+    ch.schedule(0, false, 0);
+    EXPECT_FALSE(ch.rowHit(0));
+    ch.schedule(0, false, 200);
+    EXPECT_EQ(stats.counterValue("d.row_closed"), 2u);
+    EXPECT_EQ(stats.counterValue("d.row_hits"), 0u);
+}
+
+TEST(DramDdr, ResetClearsDdrState)
+{
+    StatRegistry stats;
+    DramChannel ch("d", ddrParams(), &stats);
+    ch.schedule(0, false, 0);
+    ch.schedule(1024, true, 10);
+    ch.reset();
+    // A cold access after reset pays exactly the cold-start cost:
+    // no leftover bus, turnaround, tRRD or refresh state.
+    EXPECT_EQ(ch.schedule(2 * 1024, false, 0), 0u + 20 + 10 + 4);
+}
+
+TEST(DramDdr, CompletionsMonotonicUnderRandomTraffic)
+{
+    StatRegistry stats;
+    DramParams p = ddrParams();
+    p.ranks = 2;
+    p.map = DramAddrMap::Xor;
+    DramChannel ch("d", p, &stats);
+    Rng rng(7);
+    Cycle prev = 0;
+    Cycle now = 0;
+    for (int i = 0; i < 2000; ++i) {
+        const Addr line = rng.below(1 << 14) * 128;
+        const Cycle done = ch.schedule(line, rng.below(2), now);
+        EXPECT_GE(done, prev);
+        prev = done;
+        now += rng.below(50);
+    }
+}
+
+// ---------------------------------------------------------------
+// Anti-starvation.
+
+TEST(DramSched, FrFcfsStarvationBypassesRowHits)
+{
+    StatRegistry stats;
+    DramParams p = testParams();
+    DramChannel ch("d", p, &stats);
+    ch.schedule(0, false, 0); // opens row 0 of bank 0
+
+    // Head: row conflict enqueued at 0. Behind it: a fresh row hit.
+    std::deque<MemRequest> q{req(p.banks * p.rowBytes, 0),
+                             req(256, 95)};
+    // Young head: the row hit still wins.
+    auto pick = pickDramRequest(DramSchedPolicy::FRFCFS, q, ch, 100,
+                                /*starvation_limit=*/200);
+    ASSERT_TRUE(pick.has_value());
+    EXPECT_EQ(*pick, 1u);
+    // Head aged past the limit: strict oldest-ready.
+    pick = pickDramRequest(DramSchedPolicy::FRFCFS, q, ch, 300,
+                           /*starvation_limit=*/200);
+    ASSERT_TRUE(pick.has_value());
+    EXPECT_EQ(*pick, 0u);
+}
+
+TEST(DramSched, UnstampedRequestPanics)
+{
+    StatRegistry stats;
+    DramChannel ch("d", testParams(), &stats);
+    MemRequest r;
+    r.lineAddr = 0; // trace.dramEnq left as kNoCycle
+    std::deque<MemRequest> q{r};
+    EXPECT_THROW(
+        pickDramRequest(DramSchedPolicy::FRFCFS, q, ch, 1000),
+        PanicError);
 }
 
 /** Property: FR-FCFS achieves >= the row-hit count of FCFS on the
